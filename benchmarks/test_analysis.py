@@ -1,0 +1,78 @@
+"""Analysis benchmarks beyond the paper's figures:
+
+* κ predicted from matrix structure (LRU cache model) vs the paper's
+  measured values — turning Sect. 2's explanation into a test,
+* internode communication volume vs node count — the quantitative basis
+  of the Fig. 5 scalability knee.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.experiments import run_comm_volume, run_kappa_prediction
+
+
+@pytest.fixture(scope="module")
+def kappa_pred(bench_scale):
+    scale = "small" if bench_scale != "medium" else "medium"
+    return run_kappa_prediction(scale)
+
+
+def test_kappa_prediction_report(kappa_pred, benchmark):
+    # benchmark the render so the report regenerates under --benchmark-only
+    text = benchmark.pedantic(kappa_pred.render, rounds=1, iterations=1)
+    write_report("analysis_kappa_prediction", text)
+
+
+def test_kappa_prediction_matches_paper(kappa_pred):
+    k_good = kappa_pred.predictions["HMeP"].kappa
+    k_bad = kappa_pred.predictions["HMEp"].kappa
+    # The hard prediction is the *ordering* and its size: the scattered
+    # HMEp ordering reloads ~1.5-2x more RHS traffic (paper: 3.79/2.5 =
+    # 1.52).  Magnitudes depend on the reduced matrix's band-to-cache
+    # ratio: 1.97/3.43 at small scale, 1.14/2.10 at medium, bracketing
+    # the measured 2.5/3.79 within a factor ~2 from structure alone.
+    assert k_bad > k_good * 1.4
+    assert k_bad / k_good == pytest.approx(3.79 / 2.5, rel=0.35)
+    assert 0.8 < k_good < 3.5
+    assert 1.6 < k_bad < 5.5
+
+
+@pytest.fixture(scope="module")
+def volumes(bench_scale):
+    scale = "small" if bench_scale != "medium" else "medium"
+    return run_comm_volume(scale)
+
+
+def test_comm_volume_report(volumes, benchmark):
+    # benchmark the render so the report regenerates under --benchmark-only
+    text = benchmark.pedantic(volumes.render, rounds=1, iterations=1)
+    write_report("analysis_comm_volume", text)
+
+
+def test_comm_volume_knee(volumes):
+    series = volumes.series("HMeP", "per-ld")
+    by_nodes = {r.n_nodes: r.internode_mb for r in series}
+    early_rate = (by_nodes[6] - by_nodes[2]) / 4.0
+    late_rate = (by_nodes[32] - by_nodes[8]) / 24.0
+    assert late_rate < 0.7 * early_rate
+
+
+def test_comm_volume_contrast(volumes):
+    h = {r.n_nodes: r.internode_mb for r in volumes.series("HMeP", "per-ld")}
+    s = {r.n_nodes: r.internode_mb for r in volumes.series("sAMG", "per-ld")}
+    # per flop, HMeP communicates far more than sAMG at every node count
+    for n in (4, 8, 16, 32):
+        assert h[n] > 1.5 * s[n]
+
+
+def test_benchmark_cache_simulation(benchmark, hmep_matrix):
+    from repro.model import CacheConfig, simulate_rhs_traffic
+
+    pred = benchmark.pedantic(
+        simulate_rhs_traffic,
+        args=(hmep_matrix,),
+        kwargs={"config": CacheConfig(capacity_bytes=65536), "sample_rows": 20_000},
+        rounds=3, iterations=1,
+    )
+    assert pred.accesses > 0

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""What-if studies with the calibrated simulator: when does task mode matter?
+
+The paper's conclusion — explicit overlap pays for communication-bound
+problems — invites the follow-up question a system designer would ask:
+*how communication-bound does the system have to be?*  This example
+sweeps two machine knobs around the calibrated Westmere cluster:
+
+1. interconnect bandwidth: from a 4x slower to a 4x faster fabric than
+   QDR InfiniBand, recording the task-mode advantage at each point;
+2. the MPI library's progress semantics: 2010-era vs progress threads —
+   reproducing the paper's outlook that library-internal progress
+   threads would make naive overlap competitive.
+
+Run:  python examples/cluster_design.py [--nodes 8] [--scale small]
+"""
+
+import argparse
+from dataclasses import replace
+
+from repro.core import simulate_spmvm
+from repro.experiments import KAPPA, REDUCED_EAGER_THRESHOLD
+from repro.machine import ClusterSpec, FatTree, westmere_cluster
+from repro.matrices import get_matrix
+from repro.util import Table, gb_per_s
+
+
+def cluster_with_fabric(base: ClusterSpec, bandwidth: float) -> ClusterSpec:
+    """The Westmere cluster with a different fat-tree link bandwidth."""
+    node = replace(
+        base.node,
+        nic_bandwidth=bandwidth,
+    )
+    return ClusterSpec(
+        name=f"{base.name} @ {bandwidth / 1e9:.1f} GB/s links",
+        node=node,
+        n_nodes=base.n_nodes,
+        network=FatTree(latency=1.5e-6, link_bandwidth=bandwidth),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--scale", default="small")
+    args = parser.parse_args()
+
+    A = get_matrix("HMeP", args.scale).build_cached()
+    base = westmere_cluster(args.nodes)
+    common = dict(mode="per-ld", kappa=KAPPA["HMeP"], eager_threshold=REDUCED_EAGER_THRESHOLD)
+
+    # -- 1. fabric sweep ---------------------------------------------------
+    t = Table(
+        ["link GB/s", "no overlap", "task mode", "task-mode gain"],
+        title=f"HMeP on {args.nodes} nodes: task-mode advantage vs fabric speed",
+        float_fmt=".2f",
+    )
+    for factor in (0.25, 0.5, 1.0, 2.0, 4.0):
+        bw = gb_per_s(3.2 * factor)
+        cl = cluster_with_fabric(base, bw)
+        novl = simulate_spmvm(A, cl, scheme="no_overlap", **common)
+        task = simulate_spmvm(A, cl, scheme="task_mode", **common)
+        t.add_row([3.2 * factor, novl.gflops, task.gflops, task.gflops / novl.gflops])
+    print(t.render())
+    print("→ the gain peaks where communication and computation times are")
+    print("  comparable (overlap can hide one inside the other); on a very")
+    print("  slow fabric communication dominates outright, and on a fast")
+    print("  enough one the kernel is compute-bound — in both extremes the")
+    print("  paper's sAMG conclusion applies: hybrid buys little.\n")
+
+    # -- 2. progress-semantics sweep ----------------------------------------
+    t2 = Table(
+        ["MPI library", "naive overlap", "task mode"],
+        title="the paper's outlook: what a progress-thread MPI would change",
+        float_fmt=".2f",
+    )
+    for label, async_progress in (("2010-era (no async progress)", False),
+                                  ("with progress threads", True)):
+        naive = simulate_spmvm(A, base, scheme="naive_overlap",
+                               async_progress=async_progress, **common)
+        task = simulate_spmvm(A, base, scheme="task_mode",
+                              async_progress=async_progress, **common)
+        t2.add_row([label, naive.gflops, task.gflops])
+    print(t2.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,213 @@
+"""Command-line interface: regenerate any paper figure/table from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig1 --scale small
+    python -m repro fig3
+    python -m repro fig5 --scale medium --nodes 1,2,4,8,16,24,32
+    python -m repro probe
+    python -m repro all --scale small          # everything, quick mode
+    python -m repro matrix HMeP --scale tiny   # matrix inspection
+
+Each command prints the same rendered table the benchmark suite writes
+to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+__all__ = ["main"]
+
+
+def _parse_nodes(text: str) -> tuple[int, ...]:
+    try:
+        nodes = tuple(int(t) for t in text.split(",") if t.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid node list {text!r}") from exc
+    if not nodes or any(n <= 0 for n in nodes):
+        raise argparse.ArgumentTypeError("node counts must be positive integers")
+    return nodes
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("available experiments:")
+    for name, doc in (
+        ("fig1", "sparsity patterns (block occupancy) of HMEp / HMeP / sAMG"),
+        ("fig2", "node topologies (Westmere, Magny Cours)"),
+        ("fig3", "node-level performance analysis (both panels)"),
+        ("fig4", "scheme timelines (simulator Gantt charts)"),
+        ("fig5", "HMeP strong scaling on the Westmere cluster"),
+        ("fig6", "sAMG strong scaling on the Westmere cluster"),
+        ("kappa", "Sect. 2 κ determination + Eq. 2 split penalty"),
+        ("kappa-predict", "predict κ from structure via the LRU cache model"),
+        ("commvol", "internode communication volume vs node count"),
+        ("balance", "load-balancing study (compute vs communication)"),
+        ("probe", "Sect. 3 asynchronous-progress probe"),
+        ("matrix", "build and describe one registry matrix"),
+        ("all", "run every experiment in sequence"),
+    ):
+        print(f"  {name:<7} {doc}")
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig1
+
+    print(run_fig1(scale=args.scale, grid=args.grid).render())
+    return 0
+
+
+def _cmd_fig2(_args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig2
+
+    print(run_fig2().render())
+    return 0
+
+
+def _cmd_fig3(_args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig3
+
+    print(run_fig3().render())
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig4
+
+    print(run_fig4(scale=args.scale).render())
+    return 0
+
+
+def _scaling(runner: Callable, args: argparse.Namespace) -> int:
+    study = runner(
+        scale=args.scale,
+        node_counts=args.nodes,
+        max_ranks=args.max_ranks,
+        include_cray=not args.no_cray,
+    )
+    print(study.render())
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig5
+
+    return _scaling(run_fig5, args)
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig6
+
+    return _scaling(run_fig6, args)
+
+
+def _cmd_kappa(_args: argparse.Namespace) -> int:
+    from repro.experiments import run_kappa_table
+
+    print(run_kappa_table().render())
+    return 0
+
+
+def _cmd_kappa_predict(args: argparse.Namespace) -> int:
+    from repro.experiments import run_kappa_prediction
+
+    print(run_kappa_prediction(args.scale).render())
+    return 0
+
+
+def _cmd_commvol(args: argparse.Namespace) -> int:
+    from repro.experiments import run_comm_volume
+
+    print(run_comm_volume(args.scale).render())
+    return 0
+
+
+def _cmd_balance(args: argparse.Namespace) -> int:
+    from repro.experiments import run_load_balance
+
+    print(run_load_balance(args.scale).render())
+    return 0
+
+
+def _cmd_probe(_args: argparse.Namespace) -> int:
+    from repro.experiments import run_progress_probe
+
+    print(run_progress_probe().render())
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.matrices import get_matrix
+    from repro.sparse import matrix_stats
+
+    spec = get_matrix(args.name, args.scale)
+    print(spec.description)
+    A = spec.build()
+    print(matrix_stats(A, check_symmetry=A.nrows <= 50_000).describe())
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    for fn in (_cmd_fig1, _cmd_fig2, _cmd_fig3, _cmd_fig4, _cmd_kappa, _cmd_probe,
+               _cmd_fig5, _cmd_fig6):
+        print("\n" + "=" * 74)
+        fn(args)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Schubert et al. (2011): hybrid MPI+OpenMP spMVM.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, fn, **kw):
+        p = sub.add_parser(name, help=fn.__doc__, **kw)
+        p.set_defaults(fn=fn)
+        return p
+
+    add("list", _cmd_list)
+    p1 = add("fig1", _cmd_fig1)
+    p1.add_argument("--scale", default="small")
+    p1.add_argument("--grid", type=int, default=40)
+    add("fig2", _cmd_fig2)
+    add("fig3", _cmd_fig3)
+    p4 = add("fig4", _cmd_fig4)
+    p4.add_argument("--scale", default="small")
+    for name, fn in (("fig5", _cmd_fig5), ("fig6", _cmd_fig6), ("all", _cmd_all)):
+        p = add(name, fn)
+        p.add_argument("--scale", default="small",
+                       help="matrix scale (tiny/small/medium; medium matches benchmarks)")
+        p.add_argument("--nodes", type=_parse_nodes, default=(1, 2, 4, 8),
+                       help="comma-separated node counts")
+        p.add_argument("--max-ranks", type=int, default=None)
+        p.add_argument("--no-cray", action="store_true", help="skip the Cray reference")
+        if name == "all":
+            p.add_argument("--grid", type=int, default=40)
+    add("kappa", _cmd_kappa)
+    for name, fn in (("kappa-predict", _cmd_kappa_predict),
+                     ("commvol", _cmd_commvol),
+                     ("balance", _cmd_balance)):
+        p = add(name, fn)
+        p.add_argument("--scale", default="small")
+    add("probe", _cmd_probe)
+    pm = add("matrix", _cmd_matrix)
+    pm.add_argument("name", choices=("HMeP", "HMEp", "sAMG"))
+    pm.add_argument("--scale", default="tiny")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

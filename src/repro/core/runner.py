@@ -1,0 +1,172 @@
+"""Driving a full spMVM simulation: cluster + matrix + mode + scheme → GFlop/s.
+
+This is the top-level entry the experiments use.  It
+
+1. places MPI ranks on the cluster per the hybrid mode (per core / per
+   LD / per node, Sect. 4),
+2. partitions the matrix over the ranks with balanced nonzeros
+   (footnote 2) and performs the halo bookkeeping,
+3. instantiates the flow network (memory buses with their saturation
+   curves + all interconnect resources) and the simulated MPI,
+4. runs every rank's scheme process for a few iterations and reports
+   wall time and aggregate GFlop/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import phase_costs
+from repro.core.halo import HaloPlan, build_halo_plan
+from repro.core.schemes import SIM_SCHEMES, RankContext, rank_process
+from repro.frame.core import Simulator
+from repro.frame.resources import FlowNetwork
+from repro.frame.trace import TraceRecorder
+from repro.machine.affinity import plan_placement, ranks_for_mode
+from repro.machine.topology import ClusterSpec
+from repro.smpi.api import MPIConfig, SimMPI
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.partition import partition_matrix
+from repro.util import check_in, check_positive_int
+
+__all__ = ["SimulationResult", "simulate_spmvm", "simulate_from_plan"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated spMVM configuration."""
+
+    scheme: str
+    mode: str
+    n_nodes: int
+    n_ranks: int
+    iterations: int
+    total_seconds: float
+    nnz: int
+    comm_bytes_per_mvm: float
+    messages_per_mvm: float
+    bytes_transferred: float = 0.0  # actually moved through the simulated MPI
+    trace: TraceRecorder | None = None
+
+    @property
+    def seconds_per_mvm(self) -> float:
+        """Wall time of one MVM sweep."""
+        return self.total_seconds / self.iterations
+
+    @property
+    def gflops(self) -> float:
+        """Aggregate performance in GFlop/s (2 flops per nonzero)."""
+        return 2.0 * self.nnz / self.seconds_per_mvm / 1e9
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.scheme:>14} | {self.mode:>8} | {self.n_nodes:3d} nodes "
+            f"({self.n_ranks:4d} ranks) | {self.gflops:7.2f} GFlop/s | "
+            f"{self.seconds_per_mvm * 1e3:8.3f} ms/MVM"
+        )
+
+
+def _build_membus_resources(cluster: ClusterSpec) -> dict:
+    resources = {}
+    for n in range(cluster.n_nodes):
+        for ld_idx, dom in enumerate(cluster.node.domains):
+            curve = dom.spmv_curve
+            resources[("membus", n, ld_idx)] = curve.value
+    return resources
+
+
+def simulate_from_plan(
+    plan: HaloPlan,
+    cluster: ClusterSpec,
+    *,
+    mode: str = "per-ld",
+    scheme: str = "task_mode",
+    kappa: float = 0.0,
+    comm_thread: str | None = None,
+    iterations: int = 2,
+    async_progress: bool = False,
+    eager_threshold: int = 16384,
+    trace: bool = False,
+) -> SimulationResult:
+    """Simulate a prepared halo plan on *cluster*.
+
+    The plan's rank count must equal what the hybrid *mode* yields on the
+    cluster.  ``comm_thread`` defaults to ``"smt"`` for task mode on SMT
+    hardware (``"dedicated"`` otherwise) and ``None`` for vector modes.
+    """
+    check_in(scheme, SIM_SCHEMES, "scheme")
+    check_positive_int(iterations, "iterations")
+    if scheme == "task_mode" and comm_thread is None:
+        comm_thread = "smt" if cluster.node.smt_per_core > 1 else "dedicated"
+    if scheme != "task_mode":
+        comm_thread = None
+    placements = plan_placement(cluster, mode, comm_thread=comm_thread)
+    if len(placements) != plan.nranks:
+        raise ValueError(
+            f"plan has {plan.nranks} ranks but mode {mode!r} on {cluster.n_nodes} "
+            f"nodes yields {len(placements)}"
+        )
+    sim = Simulator()
+    resources = dict(cluster.network.resources(cluster.n_nodes))
+    resources.update(_build_membus_resources(cluster))
+    net = FlowNetwork(sim, resources)
+    mpi = SimMPI(
+        sim,
+        net,
+        cluster.network,
+        rank_node=[p.node for p in placements],
+        config=MPIConfig(eager_threshold=eager_threshold, async_progress=async_progress),
+    )
+    recorder = TraceRecorder() if trace else None
+    contexts = []
+    for placement, halo in zip(placements, plan.ranks):
+        ctx = RankContext(
+            sim=sim,
+            net=net,
+            mpi=mpi,
+            placement=placement,
+            halo=halo,
+            costs=phase_costs(halo, kappa),
+            trace=recorder,
+        )
+        contexts.append(ctx)
+        sim.spawn(rank_process(ctx, scheme, iterations), name=f"rank{placement.rank}")
+    sim.run()
+    total = max(ctx.finish_times[-1] for ctx in contexts)
+    return SimulationResult(
+        scheme=scheme,
+        mode=mode,
+        n_nodes=cluster.n_nodes,
+        n_ranks=plan.nranks,
+        iterations=iterations,
+        total_seconds=total,
+        nnz=plan.nnz,
+        comm_bytes_per_mvm=plan.total_comm_bytes(),
+        messages_per_mvm=plan.total_messages(),
+        bytes_transferred=mpi.bytes_transferred,
+        trace=recorder,
+    )
+
+
+def simulate_spmvm(
+    A: CSRMatrix,
+    cluster: ClusterSpec,
+    *,
+    mode: str = "per-ld",
+    scheme: str = "task_mode",
+    kappa: float = 0.0,
+    partition_strategy: str = "nnz",
+    **kwargs,
+) -> SimulationResult:
+    """Partition *A* for the hybrid *mode* on *cluster* and simulate it.
+
+    Convenience wrapper around :func:`simulate_from_plan`; see there for
+    the remaining keyword arguments.
+    """
+    nranks = ranks_for_mode(cluster, mode)
+    partition = partition_matrix(A, nranks, strategy=partition_strategy)
+    plan = build_halo_plan(A, partition, with_matrices=False)
+    return simulate_from_plan(
+        plan, cluster, mode=mode, scheme=scheme, kappa=kappa, **kwargs
+    )

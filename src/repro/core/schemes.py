@@ -1,0 +1,167 @@
+"""The three hybrid execution schemes as simulation processes (Fig. 4).
+
+Each MPI rank becomes one simulator process; its compute phases are
+flows on the memory buses of its locality domains and its messages run
+through the simulated MPI (with its progress semantics).  The three
+schemes differ only in *ordering and concurrency* of the same phases:
+
+* vector mode w/o overlap (Fig. 4a): gather → exchange → full spMVM;
+* vector mode w/ naive overlap (Fig. 4b): gather → post nonblocking
+  exchange → local spMVM → Waitall → remote spMVM.  Whether any bytes
+  move during the local spMVM is decided by the MPI progress model —
+  with 2010-era semantics they do not;
+* task mode (Fig. 4c): a communication-thread subprocess executes the
+  exchange inside ``Waitall`` (holding the MPI progress gate open) while
+  the compute threads run gather/local-spMVM; OpenMP-style barriers
+  separate the phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.core.costs import PhaseCosts
+from repro.core.halo import RankHalo
+from repro.frame.core import Simulator
+from repro.frame.events import SimEvent
+from repro.frame.resources import FlowNetwork
+from repro.frame.trace import TraceRecorder
+from repro.machine.affinity import RankPlacement
+from repro.smpi.api import SimMPI
+from repro.util import check_in
+
+__all__ = ["SIM_SCHEMES", "RankContext", "rank_process"]
+
+SIM_SCHEMES = ("no_overlap", "naive_overlap", "task_mode")
+
+#: Cost of one OpenMP-style barrier among a rank's threads (seconds).
+OMP_BARRIER_SECONDS = 2.0e-6
+
+
+@dataclass
+class RankContext:
+    """Everything one simulated rank needs."""
+
+    sim: Simulator
+    net: FlowNetwork
+    mpi: SimMPI
+    placement: RankPlacement
+    halo: RankHalo
+    costs: PhaseCosts
+    trace: TraceRecorder | None = None
+    barrier_seconds: float = OMP_BARRIER_SECONDS
+    finish_times: list[float] = field(default_factory=list)
+
+    @property
+    def rank(self) -> int:
+        """MPI rank id."""
+        return self.placement.rank
+
+    def compute(self, label: str, traffic: float) -> Generator:
+        """Sub-generator: run *traffic* bytes of memory work on this rank's
+        compute threads (split across its locality domains)."""
+        if traffic <= 0:
+            return
+        t0 = self.sim.now
+        total_threads = max(1, self.placement.n_compute_threads)
+        flows = []
+        for dom, threads in self.placement.domains:
+            if threads <= 0:
+                continue
+            share = traffic * threads / total_threads
+            flows.append(
+                self.net.start_flow(
+                    share,
+                    {("membus", *dom): 1.0},
+                    weight=float(threads),
+                    label=f"r{self.rank}:{label}",
+                )
+            )
+        yield self.sim.all_of([f.done for f in flows])
+        if self.trace is not None:
+            self.trace.record(f"rank{self.rank}", label, t0, self.sim.now)
+
+    def omp_barrier(self) -> Generator:
+        """Sub-generator: one intra-rank thread barrier."""
+        yield self.sim.timeout(self.barrier_seconds)
+
+    def record(self, actor_suffix: str, label: str, t0: float) -> None:
+        """Trace helper for non-compute intervals."""
+        if self.trace is not None:
+            self.trace.record(f"rank{self.rank}{actor_suffix}", label, t0, self.sim.now)
+
+
+def _post_receives(ctx: RankContext, tag: int) -> list:
+    return [
+        ctx.mpi.irecv(ctx.rank, src, 8 * count, tag)
+        for src, count in ctx.halo.recv_from
+    ]
+
+def _post_sends(ctx: RankContext, tag: int) -> list:
+    return [
+        ctx.mpi.isend(ctx.rank, dst, 8 * count, tag)
+        for dst, count in ctx.halo.send_to
+    ]
+
+
+def _vector_iteration(ctx: RankContext, tag: int, overlap: bool) -> Generator:
+    recvs = _post_receives(ctx, tag)
+    yield from ctx.compute("gather", ctx.costs.gather)
+    sends = _post_sends(ctx, tag)
+    if overlap:
+        # Fig. 4b: the local spMVM is *meant* to overlap the transfers;
+        # whether it does is up to the MPI progress model.
+        yield from ctx.compute("local spMVM", ctx.costs.local_spmv)
+        t0 = ctx.sim.now
+        yield from ctx.mpi.waitall(ctx.rank, recvs + sends)
+        ctx.record("", "MPI_Waitall", t0)
+        yield from ctx.compute("remote spMVM", ctx.costs.remote_spmv)
+    else:
+        # Fig. 4a: communicate first, then one full-kernel spMVM.
+        t0 = ctx.sim.now
+        yield from ctx.mpi.waitall(ctx.rank, recvs + sends)
+        ctx.record("", "MPI_Waitall", t0)
+        yield from ctx.compute("full spMVM", ctx.costs.full_spmv)
+
+
+def _task_iteration(ctx: RankContext, tag: int) -> Generator:
+    recvs = _post_receives(ctx, tag)
+    gather_done: SimEvent = ctx.sim.event()
+    comm_finished: SimEvent = ctx.sim.event()
+
+    def comm_thread() -> Generator:
+        # Fig. 4c: the dedicated thread executes MPI calls only.  Sends go
+        # out once the compute threads finish filling the buffers; the
+        # thread then sits in Waitall, keeping the progress gate open.
+        yield gather_done
+        sends = _post_sends(ctx, tag)
+        t0 = ctx.sim.now
+        yield from ctx.mpi.waitall(ctx.rank, recvs + sends)
+        ctx.record(":comm", "MPI_Waitall", t0)
+        comm_finished.succeed()
+
+    ctx.sim.spawn(comm_thread(), name=f"rank{ctx.rank}-comm")
+    yield from ctx.compute("gather", ctx.costs.gather)
+    yield from ctx.omp_barrier()
+    gather_done.succeed()
+    yield from ctx.compute("local spMVM", ctx.costs.local_spmv)
+    yield comm_finished
+    yield from ctx.omp_barrier()
+    yield from ctx.compute("remote spMVM", ctx.costs.remote_spmv)
+
+
+def rank_process(ctx: RankContext, scheme: str, iterations: int) -> Generator:
+    """The full life of one simulated rank: *iterations* back-to-back MVMs.
+
+    Iterations are tagged so messages of successive sweeps cannot be
+    confused; ranks drift freely (no global barrier), as in the real
+    benchmark loop.
+    """
+    check_in(scheme, SIM_SCHEMES, "scheme")
+    for it in range(iterations):
+        if scheme == "task_mode":
+            yield from _task_iteration(ctx, it)
+        else:
+            yield from _vector_iteration(ctx, it, overlap=(scheme == "naive_overlap"))
+        ctx.finish_times.append(ctx.sim.now)

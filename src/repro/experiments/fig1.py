@@ -1,0 +1,60 @@
+"""Fig. 1: sparsity patterns of HMEp, HMeP and sAMG (block occupancy).
+
+The paper aggregates square subblocks and colour-codes them by occupancy
+on a log scale.  We reproduce the aggregation, render ASCII heat maps,
+and quantify what the figure shows visually: the HMEp ordering scatters
+nonzero blocks across the whole matrix while HMeP and sAMG concentrate
+them near the diagonal — which is why HMeP has the smaller κ and the
+lighter communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.matrices.collection import get_matrix
+from repro.sparse.patterns import OccupancyGrid, block_occupancy
+
+__all__ = ["Fig1Result", "run_fig1"]
+
+
+@dataclass
+class Fig1Result:
+    """Occupancy grids and summary statistics per matrix."""
+
+    scale: str
+    grids: dict[str, OccupancyGrid]
+    stats: dict[str, dict[str, float]]
+
+    def render(self) -> str:
+        """Heat maps + the statistics table."""
+        parts = []
+        for name, grid in self.grids.items():
+            parts.append(grid.render(title=f"--- {name} ({self.scale}) ---"))
+            s = self.stats[name]
+            parts.append(
+                f"    dim={int(s['dim'])}  nnz={int(s['nnz'])}  Nnzr={s['nnzr']:.2f}  "
+                f"band(3 blocks)={s['band_fraction']:.2%}  "
+                f"nonzero blocks={int(s['nonzero_blocks'])}"
+            )
+        return "\n".join(parts)
+
+
+def run_fig1(scale: str = "small", grid: int = 40) -> Fig1Result:
+    """Compute the three panels of Fig. 1 at the given matrix scale."""
+    grids: dict[str, OccupancyGrid] = {}
+    stats: dict[str, dict[str, float]] = {}
+    for name in ("HMEp", "HMeP", "sAMG"):
+        A = get_matrix(name, scale).build_cached()
+        g = block_occupancy(A, grid=grid)
+        grids[name] = g
+        stats[name] = {
+            "dim": float(A.nrows),
+            "nnz": float(A.nnz),
+            "nnzr": A.nnzr,
+            "band_fraction": g.band_fraction(3),
+            "diagonal_fraction": g.diagonal_fraction(),
+            "nonzero_blocks": float(g.nonzero_blocks()),
+            "max_occupancy": g.max_occupancy(),
+        }
+    return Fig1Result(scale=scale, grids=grids, stats=stats)

@@ -1,0 +1,52 @@
+"""Fig. 2: node topologies of the two benchmark systems.
+
+ASCII renderings of the dual-Westmere node (two NUMA LDs) and the dual
+Magny Cours node (four NUMA LDs), plus the derived quantities the paper
+reads off them (cores per LD, memory channels → bandwidth ratio 8/6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.presets import magny_cours_node, westmere_ep_node
+from repro.machine.topology import NodeSpec, render_node_ascii
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+
+@dataclass
+class Fig2Result:
+    """The two node specs and their renderings."""
+
+    westmere: NodeSpec
+    magny_cours: NodeSpec
+
+    def render(self) -> str:
+        """Both topology drawings plus the comparison facts."""
+        parts = [
+            render_node_ascii(self.westmere),
+            "",
+            render_node_ascii(self.magny_cours),
+            "",
+            self.comparison_text(),
+        ]
+        return "\n".join(parts)
+
+    def comparison_text(self) -> str:
+        """The Sect. 1.3.2 cross-checks as one line each."""
+        w, m = self.westmere, self.magny_cours
+        ratio = m.stream_bandwidth / w.stream_bandwidth
+        return "\n".join(
+            [
+                f"Westmere node: {w.n_domains} NUMA LDs x {w.cores_per_domain()} cores (SMT {w.smt_per_core})",
+                f"Magny Cours node: {m.n_domains} NUMA LDs x {m.cores_per_domain()} cores (SMT {m.smt_per_core})",
+                f"node STREAM bandwidth ratio AMD/Intel = {ratio:.2f} "
+                f"(theoretical channel ratio 8/6 = {8 / 6:.2f})",
+            ]
+        )
+
+
+def run_fig2() -> Fig2Result:
+    """Instantiate the two calibrated node topologies."""
+    return Fig2Result(westmere=westmere_ep_node(), magny_cours=magny_cours_node())

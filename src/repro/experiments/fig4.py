@@ -1,0 +1,92 @@
+"""Fig. 4: schematic timeline views of the three kernel versions.
+
+The paper draws these by hand; we generate them from actual simulator
+traces of a two-node run, one Gantt chart per scheme.  The task-mode
+chart shows the separate communication actor overlapping the compute
+threads' local spMVM; the naive-overlap chart shows the Waitall block
+where the transfer really happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.halo import build_halo_plan
+from repro.core.runner import simulate_from_plan
+from repro.experiments.calibration import KAPPA, REDUCED_EAGER_THRESHOLD
+from repro.machine.affinity import ranks_for_mode
+from repro.machine.presets import westmere_cluster
+from repro.matrices.collection import get_matrix
+from repro.sparse.partition import partition_matrix
+
+__all__ = ["Fig4Result", "run_fig4"]
+
+
+@dataclass
+class Fig4Result:
+    """One rendered timeline per scheme plus the phase totals."""
+
+    charts: dict[str, str]
+    makespans: dict[str, float]
+    overlap_fraction: dict[str, float]
+
+    def render(self) -> str:
+        """All three Gantt charts."""
+        parts = []
+        for scheme, chart in self.charts.items():
+            parts.append(chart)
+            parts.append(
+                f"   makespan {self.makespans[scheme] * 1e3:.3f} ms, "
+                f"comm/compute overlap {self.overlap_fraction[scheme]:.0%}\n"
+            )
+        return "\n".join(parts)
+
+
+def run_fig4(scale: str = "small", n_nodes: int = 2) -> Fig4Result:
+    """Trace one MVM of each scheme on a small two-node configuration."""
+    A = get_matrix("HMeP", scale).build_cached()
+    cluster = westmere_cluster(n_nodes)
+    nranks = ranks_for_mode(cluster, "per-ld")
+    plan = build_halo_plan(A, partition_matrix(A, nranks), with_matrices=False)
+    charts: dict[str, str] = {}
+    makespans: dict[str, float] = {}
+    overlap: dict[str, float] = {}
+    titles = {
+        "no_overlap": "(a) Vector mode, no overlap",
+        "naive_overlap": "(b) Vector mode, naive overlap (nonblocking MPI)",
+        "task_mode": "(c) Task mode, explicit overlap (dedicated comm thread)",
+    }
+    for scheme in ("no_overlap", "naive_overlap", "task_mode"):
+        r = simulate_from_plan(
+            plan,
+            cluster,
+            mode="per-ld",
+            scheme=scheme,
+            kappa=KAPPA["HMeP"],
+            iterations=1,
+            eager_threshold=REDUCED_EAGER_THRESHOLD,
+            trace=True,
+        )
+        assert r.trace is not None
+        # restrict the chart to rank 0's actors for legibility
+        rank0 = type(r.trace)(
+            [iv for iv in r.trace.intervals if iv.actor.startswith("rank0")]
+        )
+        charts[scheme] = rank0.render_gantt(title=titles[scheme])
+        makespans[scheme] = r.seconds_per_mvm
+        # overlap: time the comm actor's Waitall shares with compute work
+        comm_ivs = [
+            iv for iv in r.trace.intervals
+            if iv.actor in ("rank0", "rank0:comm") and iv.label == "MPI_Waitall"
+        ]
+        compute_ivs = [
+            iv for iv in r.trace.intervals
+            if iv.actor == "rank0" and "spMVM" in iv.label
+        ]
+        shared = 0.0
+        total_comm = sum(iv.duration for iv in comm_ivs) or 1e-300
+        for c in comm_ivs:
+            for w in compute_ivs:
+                shared += max(0.0, min(c.end, w.end) - max(c.start, w.start))
+        overlap[scheme] = min(1.0, shared / total_comm)
+    return Fig4Result(charts=charts, makespans=makespans, overlap_fraction=overlap)

@@ -1,0 +1,38 @@
+"""Fig. 6: strong scaling of the sAMG matrix on the Westmere cluster.
+
+The communication-light counterpart to Fig. 5.  Expected shape:
+
+* all variants and hybrid modes scale similarly; parallel efficiency
+  stays above 50 % up to 32 nodes for every variant;
+* task mode offers **no** advantage — "it makes no sense to consider
+  MPI+OpenMP hybrid programming if the pure MPI code already scales
+  well";
+* on the Cray XE6 the best variant is vector mode without overlap.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.calibration import DEFAULT_NODE_COUNTS, KAPPA
+from repro.experiments.scaling import ScalingStudy, run_scaling_study
+from repro.matrices.collection import get_matrix
+
+__all__ = ["run_fig6"]
+
+
+def run_fig6(
+    scale: str = "medium",
+    *,
+    node_counts: tuple[int, ...] = DEFAULT_NODE_COUNTS,
+    max_ranks: int | None = None,
+    include_cray: bool = True,
+) -> ScalingStudy:
+    """Run the Fig. 6 sweep on the sAMG matrix at the given scale."""
+    A = get_matrix("sAMG", scale).build_cached()
+    return run_scaling_study(
+        A,
+        f"sAMG ({scale})",
+        KAPPA["sAMG"],
+        node_counts=node_counts,
+        max_ranks=max_ranks,
+        include_cray=include_cray,
+    )

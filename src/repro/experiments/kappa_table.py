@@ -1,0 +1,96 @@
+"""Sect. 2 / Eqs. 1-2 numbers: κ determination and the split-kernel penalty.
+
+Reproduces, as one table each:
+
+* the paper's κ determination — measured performance + drawn bandwidth
+  → κ via Eq. 1 (2.5 for HMeP, and the ~10 % penalty that κ = 3.79
+  implies for HMEp),
+* the Eq. 2 split-kernel penalty over the relevant Nnzr range
+  ("between 15 % and 8 %, and even less if κ > 0"),
+* the RHS reload interpretation (κ = 2.5 at Nnzr = 15 ⇒ B loaded ~6x,
+  i.e. 37.3 bytes of traffic per row on B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.calibration import (
+    PAPER_KAPPA_HMEP,
+    PAPER_KAPPA_HMEP_BAD,
+    PAPER_SPMV_BANDWIDTH,
+)
+from repro.model.code_balance import (
+    code_balance,
+    kappa_from_measurement,
+    max_performance,
+    split_penalty,
+)
+from repro.util import Table, gb_per_s
+
+__all__ = ["KappaTableResult", "run_kappa_table"]
+
+
+@dataclass
+class KappaTableResult:
+    """Derived κ values and penalty tables."""
+
+    kappa_measured: float
+    hmep_bad_performance_drop: float
+    max_performance_kappa0: float
+    max_performance_stream: float
+    rhs_loads: float
+    rhs_bytes_per_row: float
+    split_penalties: dict[float, dict[float, float]]  # nnzr -> kappa -> penalty
+
+    def render(self) -> str:
+        """All three tables."""
+        parts = []
+        t1 = Table(
+            ["quantity", "value", "paper"],
+            title="Sect. 2 — κ determination on the Nehalem socket (HMeP)",
+            float_fmt=".3f",
+        )
+        t1.add_row(["max perf @ STREAM 21.2 GB/s, κ=0 [GFlop/s]", self.max_performance_stream, 3.12])
+        t1.add_row(["max perf @ spMVM bw 18.1 GB/s, κ=0 [GFlop/s]", self.max_performance_kappa0, 2.66])
+        t1.add_row(["κ from measured 2.25 GFlop/s @ 18.1 GB/s", self.kappa_measured, 2.5])
+        t1.add_row(["RHS loads from memory (1 + κ·Nnzr/8)", self.rhs_loads, 6.0])
+        t1.add_row(["additional traffic on B per row [bytes] (κ·Nnzr)", self.rhs_bytes_per_row, 37.3])
+        t1.add_row(["HMEp (κ=3.79) performance drop vs HMeP", self.hmep_bad_performance_drop, 0.10])
+        parts.append(t1.render())
+        t2 = Table(
+            ["Nnzr", "κ", "split penalty"],
+            title="Eq. 2 — split-kernel penalty (paper: 15 % @ Nnzr=7 … 8 % @ Nnzr=15, less for κ>0)",
+            float_fmt=".3f",
+        )
+        for nnzr, by_kappa in self.split_penalties.items():
+            for kappa, pen in by_kappa.items():
+                t2.add_row([nnzr, kappa, pen])
+        parts.append(t2.render())
+        return "\n\n".join(parts)
+
+
+def run_kappa_table() -> KappaTableResult:
+    """Evaluate the Sect. 2 arithmetic."""
+    nnzr = 15.0
+    kappa = kappa_from_measurement(2.25e9, gb_per_s(PAPER_SPMV_BANDWIDTH), nnzr)
+    # performance HMEp relative to HMeP at the same drawn bandwidth
+    p_good = max_performance(gb_per_s(PAPER_SPMV_BANDWIDTH), nnzr, PAPER_KAPPA_HMEP)
+    p_bad = max_performance(gb_per_s(PAPER_SPMV_BANDWIDTH), nnzr, PAPER_KAPPA_HMEP_BAD)
+    drop = 1.0 - p_bad / p_good
+    # κ = 2.5 at Nnzr = 15 → κ·Nnzr extra bytes of B traffic per row on top
+    # of the one compulsory 8-byte load
+    rhs_bytes_per_row = kappa * nnzr
+    rhs_loads = 1.0 + rhs_bytes_per_row / 8.0
+    penalties: dict[float, dict[float, float]] = {}
+    for n in (7.0, 11.0, 15.0):
+        penalties[n] = {k: split_penalty(n, k) for k in (0.0, 2.5)}
+    return KappaTableResult(
+        kappa_measured=kappa,
+        hmep_bad_performance_drop=drop,
+        max_performance_kappa0=max_performance(gb_per_s(PAPER_SPMV_BANDWIDTH), nnzr, 0.0) / 1e9,
+        max_performance_stream=max_performance(gb_per_s(21.2), nnzr, 0.0) / 1e9,
+        rhs_loads=rhs_loads,
+        rhs_bytes_per_row=rhs_bytes_per_row,
+        split_penalties=penalties,
+    )

@@ -1,0 +1,121 @@
+"""Load-balancing analysis (the paper's announced future work).
+
+Footnote 2 of the paper concedes that "it is generally difficult to
+establish good load balancing for computation and communication at the
+same time", and Sect. 5 defers "a more complete investigation of load
+balancing effects" to future work.  This experiment performs that
+investigation on the reproduction:
+
+for each matrix × rank count × partition strategy it reports
+
+* the computational imbalance (max/mean nonzeros per rank),
+* the communication imbalance (max/mean bytes per rank),
+* the simulated performance —
+
+making the compute/communication balancing tension quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.halo import build_halo_plan
+from repro.core.runner import simulate_from_plan
+from repro.experiments.calibration import KAPPA, REDUCED_EAGER_THRESHOLD
+from repro.machine.affinity import ranks_for_mode
+from repro.machine.presets import westmere_cluster
+from repro.matrices.collection import get_matrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.partition import partition_matrix
+from repro.util import Table
+
+__all__ = ["BalanceRow", "LoadBalanceResult", "run_load_balance"]
+
+
+@dataclass(frozen=True)
+class BalanceRow:
+    """One (matrix, strategy, nodes) measurement."""
+
+    matrix: str
+    strategy: str
+    n_nodes: int
+    n_ranks: int
+    nnz_imbalance: float
+    comm_imbalance: float
+    gflops: float
+
+
+@dataclass
+class LoadBalanceResult:
+    """All measurements of the study."""
+
+    rows: list[BalanceRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The comparison table."""
+        t = Table(
+            ["matrix", "strategy", "nodes", "ranks", "nnz imbalance",
+             "comm imbalance", "GFlop/s"],
+            title="load balancing: computation vs communication (paper footnote 2)",
+            float_fmt=".3f",
+        )
+        for r in self.rows:
+            t.add_row([r.matrix, r.strategy, r.n_nodes, r.n_ranks,
+                       r.nnz_imbalance, r.comm_imbalance, r.gflops])
+        return t.render()
+
+    def get(self, matrix: str, strategy: str, n_nodes: int) -> BalanceRow:
+        """Lookup of one measurement."""
+        for r in self.rows:
+            if (r.matrix, r.strategy, r.n_nodes) == (matrix, strategy, n_nodes):
+                return r
+        raise KeyError((matrix, strategy, n_nodes))
+
+
+def _imbalances(plan) -> tuple[float, float]:
+    nnz = np.asarray([r.nnz for r in plan.ranks], dtype=float)
+    comm = np.asarray([r.send_bytes + r.recv_bytes for r in plan.ranks], dtype=float)
+    nnz_imb = float(nnz.max() / nnz.mean()) if nnz.mean() > 0 else 1.0
+    comm_imb = float(comm.max() / comm.mean()) if comm.mean() > 0 else 1.0
+    return nnz_imb, comm_imb
+
+
+def run_load_balance(
+    scale: str = "small",
+    *,
+    node_counts: tuple[int, ...] = (4, 8),
+    matrices: tuple[str, ...] = ("HMeP", "sAMG"),
+    scheme: str = "task_mode",
+) -> LoadBalanceResult:
+    """Run the load-balance study at the given matrix scale."""
+    result = LoadBalanceResult()
+    for name in matrices:
+        A: CSRMatrix = get_matrix(name, scale).build_cached()
+        for n_nodes in node_counts:
+            cluster = westmere_cluster(n_nodes)
+            nranks = ranks_for_mode(cluster, "per-ld")
+            for strategy in ("nnz", "rows"):
+                plan = build_halo_plan(
+                    A, partition_matrix(A, nranks, strategy=strategy),
+                    with_matrices=False,
+                )
+                nnz_imb, comm_imb = _imbalances(plan)
+                sim = simulate_from_plan(
+                    plan, cluster, mode="per-ld", scheme=scheme,
+                    kappa=KAPPA.get(name, 0.0),
+                    eager_threshold=REDUCED_EAGER_THRESHOLD,
+                )
+                result.rows.append(
+                    BalanceRow(
+                        matrix=name,
+                        strategy=strategy,
+                        n_nodes=n_nodes,
+                        n_ranks=nranks,
+                        nnz_imbalance=nnz_imb,
+                        comm_imbalance=comm_imb,
+                        gflops=sim.gflops,
+                    )
+                )
+    return result

@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel: events, processes, shared resources, traces."""
+
+from repro.frame.core import Process, Simulator
+from repro.frame.events import SimEvent, all_of, any_of
+from repro.frame.resources import Flow, FlowNetwork
+from repro.frame.trace import Interval, TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "SimEvent",
+    "all_of",
+    "any_of",
+    "Flow",
+    "FlowNetwork",
+    "Interval",
+    "TraceRecorder",
+]

@@ -1,0 +1,106 @@
+"""Timeline tracing and ASCII Gantt rendering (the Fig. 4 reproduction).
+
+Scheme implementations record what each simulated actor (thread, rank,
+NIC) is doing and when; the recorder turns those intervals into the
+schematic timeline views the paper uses to explain the three kernel
+versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Interval", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One traced activity of one actor."""
+
+    actor: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Interval length in seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class TraceRecorder:
+    """Collects activity intervals during a simulation run."""
+
+    intervals: list[Interval] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, actor: str, label: str, start: float, end: float) -> None:
+        """Add one interval (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"interval ends before it starts ({start} .. {end})")
+        self.intervals.append(Interval(actor, label, start, end))
+
+    def actors(self) -> list[str]:
+        """Actors in first-appearance order."""
+        seen: list[str] = []
+        for iv in self.intervals:
+            if iv.actor not in seen:
+                seen.append(iv.actor)
+        return seen
+
+    def by_actor(self, actor: str) -> list[Interval]:
+        """All intervals of one actor, sorted by start time."""
+        return sorted(
+            (iv for iv in self.intervals if iv.actor == actor), key=lambda iv: iv.start
+        )
+
+    def total_time(self, actor: str, label_prefix: str = "") -> float:
+        """Summed duration of an actor's intervals matching a label prefix."""
+        return sum(
+            iv.duration
+            for iv in self.intervals
+            if iv.actor == actor and iv.label.startswith(label_prefix)
+        )
+
+    def makespan(self) -> float:
+        """End of the last interval (0 when empty)."""
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def render_gantt(self, *, width: int = 72, title: str | None = None) -> str:
+        """ASCII Gantt chart: one row per actor, labels keyed by letter.
+
+        Each distinct label gets a letter; overlapping intervals on one
+        actor overwrite left-to-right (later starts win), which matches
+        how the schemes nest barriers inside phases.
+        """
+        if not self.intervals:
+            return "(empty trace)"
+        t_end = self.makespan()
+        t_end = t_end or 1.0
+        labels: dict[str, str] = {}
+        letters = "CGLNWBIRMX"
+        for iv in self.intervals:
+            if iv.label not in labels:
+                idx = len(labels)
+                labels[iv.label] = (
+                    letters[idx] if idx < len(letters) else chr(ord("a") + idx - len(letters))
+                )
+        lines = []
+        if title:
+            lines.append(title)
+        name_w = max(len(a) for a in self.actors())
+        for actor in self.actors():
+            row = [" "] * width
+            for iv in self.by_actor(actor):
+                c0 = int(iv.start / t_end * (width - 1))
+                c1 = max(c0 + 1, int(round(iv.end / t_end * (width - 1))))
+                for c in range(c0, min(c1, width)):
+                    row[c] = labels[iv.label]
+            lines.append(f"{actor.rjust(name_w)} |{''.join(row)}|")
+        lines.append(f"{' ' * name_w} 0{' ' * (width - 10)}{t_end * 1e3:8.3f} ms")
+        for label, letter in labels.items():
+            lines.append(f"  {letter} = {label}")
+        return "\n".join(lines)

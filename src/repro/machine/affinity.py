@@ -1,0 +1,148 @@
+"""Process/thread placement policies (the LIKWID-pinning stand-in).
+
+The paper runs three hybrid decompositions on the same hardware
+(Figs. 5-6): one MPI process per physical core, per NUMA locality
+domain, or per node.  A placement assigns each rank its node, the
+locality domains it spans, how many compute threads it runs on each,
+and where its communication thread (task mode) lives — on an SMT
+virtual core (costs no compute resources) or on a dedicated physical
+core (one fewer compute thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.topology import ClusterSpec
+from repro.util import check_in
+
+__all__ = ["HYBRID_MODES", "RankPlacement", "plan_placement", "ranks_for_mode"]
+
+HYBRID_MODES = ("per-core", "per-ld", "per-node")
+
+
+@dataclass(frozen=True)
+class RankPlacement:
+    """Where one MPI rank lives and computes.
+
+    ``domains`` maps a global LD id ``(node, ld_index)`` to the number of
+    compute threads the rank runs there.  ``comm_domain`` is the LD that
+    hosts the communication thread (task mode), ``comm_dedicated`` says
+    whether that thread occupies a physical core (True) or an SMT
+    thread/virtual core (False).
+    """
+
+    rank: int
+    node: int
+    domains: tuple[tuple[tuple[int, int], int], ...]
+    comm_domain: tuple[int, int] | None = None
+    comm_dedicated: bool = False
+
+    @property
+    def n_compute_threads(self) -> int:
+        """Total compute threads of the rank."""
+        return sum(t for _, t in self.domains)
+
+
+def ranks_for_mode(cluster: ClusterSpec, mode: str) -> int:
+    """Number of MPI ranks the hybrid *mode* produces on *cluster*."""
+    check_in(mode, HYBRID_MODES, "mode")
+    node = cluster.node
+    if mode == "per-core":
+        return cluster.n_nodes * node.n_cores
+    if mode == "per-ld":
+        return cluster.n_nodes * node.n_domains
+    return cluster.n_nodes
+
+
+def plan_placement(
+    cluster: ClusterSpec,
+    mode: str,
+    *,
+    comm_thread: str | None = None,
+) -> list[RankPlacement]:
+    """Build the rank placement for a hybrid mode.
+
+    Parameters
+    ----------
+    cluster:
+        The machine.
+    mode:
+        ``"per-core"``, ``"per-ld"`` or ``"per-node"``.
+    comm_thread:
+        ``None`` for vector modes (no communication thread), ``"smt"``
+        to put it on a virtual core (requires SMT hardware), or
+        ``"dedicated"`` to sacrifice a physical core.  Matches the
+        paper's task-mode variants: per-core task mode uses the second
+        virtual core; per-LD/per-node task mode may use either, with no
+        measurable difference because the memory bus saturates at four
+        threads (Sect. 4).
+    """
+    check_in(mode, HYBRID_MODES, "mode")
+    if comm_thread is not None:
+        check_in(comm_thread, ("smt", "dedicated"), "comm_thread")
+    node = cluster.node
+    if comm_thread == "smt" and node.smt_per_core < 2:
+        raise ValueError(
+            f"node {node.name!r} has no SMT; use comm_thread='dedicated'"
+        )
+    cores_per_ld = node.cores_per_domain()
+    placements: list[RankPlacement] = []
+    rank = 0
+    for n in range(cluster.n_nodes):
+        if mode == "per-core":
+            for ld in range(node.n_domains):
+                for _core in range(cores_per_ld):
+                    dom = (n, ld)
+                    dedicated = comm_thread == "dedicated"
+                    threads = 1
+                    if dedicated:
+                        # a single-core rank cannot give up its only core;
+                        # the comm thread timeshares it (worst case)
+                        dedicated = False
+                    placements.append(
+                        RankPlacement(
+                            rank=rank,
+                            node=n,
+                            domains=(((dom), threads),),
+                            comm_domain=dom if comm_thread else None,
+                            comm_dedicated=dedicated,
+                        )
+                    )
+                    rank += 1
+        elif mode == "per-ld":
+            for ld in range(node.n_domains):
+                dom = (n, ld)
+                threads = cores_per_ld
+                dedicated = comm_thread == "dedicated"
+                if dedicated:
+                    threads -= 1
+                placements.append(
+                    RankPlacement(
+                        rank=rank,
+                        node=n,
+                        domains=((dom, threads),),
+                        comm_domain=dom if comm_thread else None,
+                        comm_dedicated=dedicated,
+                    )
+                )
+                rank += 1
+        else:  # per-node
+            doms = []
+            dedicated = comm_thread == "dedicated"
+            for ld in range(node.n_domains):
+                threads = cores_per_ld
+                if dedicated and ld == 0:
+                    threads -= 1  # comm thread takes a core in LD 0
+                doms.append(((n, ld), threads))
+            placements.append(
+                RankPlacement(
+                    rank=rank,
+                    node=n,
+                    domains=tuple(doms),
+                    comm_domain=(n, 0) if comm_thread else None,
+                    comm_dedicated=dedicated,
+                )
+            )
+            rank += 1
+    return placements

@@ -1,0 +1,52 @@
+"""Application-matrix generators: the paper's two test cases and helpers.
+
+* :mod:`repro.matrices.holstein_hubbard` — exact-diagonalization
+  Hamiltonian of the Holstein-Hubbard model (both HMEp and HMeP
+  orderings of Fig. 1 a/b),
+* :mod:`repro.matrices.unstructured` — finite-volume Poisson matrix on a
+  synthetic car geometry (the sAMG stand-in of Fig. 1 c),
+* :mod:`repro.matrices.poisson` — structured FD Laplacians,
+* :mod:`repro.matrices.random_sparse` — random patterns for tests,
+* :mod:`repro.matrices.collection` — the named registry with scales.
+"""
+
+from repro.matrices.collection import SCALES, MatrixSpec, available_matrices, get_matrix
+from repro.matrices.fock import BosonBasis, FermionBasis, SpinBasis
+from repro.matrices.holstein_hubbard import (
+    HolsteinHubbardParams,
+    build_holstein_hubbard,
+    paper_params,
+    ring_bonds,
+)
+from repro.matrices.poisson import poisson_1d, poisson_2d, poisson_3d
+from repro.matrices.random_sparse import random_banded, random_sparse, random_symmetric
+from repro.matrices.unstructured import (
+    CarGeometry,
+    build_samg_like,
+    car_point_cloud,
+    fv_laplacian,
+)
+
+__all__ = [
+    "SCALES",
+    "MatrixSpec",
+    "available_matrices",
+    "get_matrix",
+    "BosonBasis",
+    "FermionBasis",
+    "SpinBasis",
+    "HolsteinHubbardParams",
+    "build_holstein_hubbard",
+    "paper_params",
+    "ring_bonds",
+    "poisson_1d",
+    "poisson_2d",
+    "poisson_3d",
+    "random_sparse",
+    "random_banded",
+    "random_symmetric",
+    "CarGeometry",
+    "build_samg_like",
+    "car_point_cloud",
+    "fv_laplacian",
+]

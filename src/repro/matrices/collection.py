@@ -1,0 +1,128 @@
+"""Named test-matrix registry with paper-scale and reduced-scale presets.
+
+The paper's two application matrices exist at several scales so that
+tests run in milliseconds, benchmarks in seconds, and the full paper
+configuration remains reachable on a large-memory machine:
+
+========  =============================  ======================================
+scale     HMeP / HMEp                    sAMG
+========  =============================  ======================================
+tiny      4 sites 2+2e, 2 modes ≤4       ~2.0e3 vertices
+small     6 sites 3+3e, 3 modes ≤6       ~3.0e4 vertices
+medium    6 sites 3+3e, 4 modes ≤10      ~2.5e5 vertices
+paper     6 sites 3+3e, 5 modes ≤15      2.2e7 vertices (needs ~35 GB)
+========  =============================  ======================================
+
+All presets keep the two invariants the paper's analysis rests on:
+Nnzr ≈ 15 for the Hamiltonians and Nnzr ≈ 7 for the FV Poisson matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.matrices.holstein_hubbard import (
+    HolsteinHubbardParams,
+    build_holstein_hubbard,
+    paper_params,
+)
+from repro.matrices.unstructured import build_samg_like
+from repro.sparse.csr import CSRMatrix
+from repro.util import check_in
+
+__all__ = ["MatrixSpec", "get_matrix", "available_matrices", "SCALES"]
+
+SCALES = ("tiny", "small", "medium", "paper")
+
+_HH_SCALE_PARAMS: dict[str, HolsteinHubbardParams] = {
+    "tiny": HolsteinHubbardParams(
+        n_sites=4, n_up=2, n_dn=2, n_phonon_modes=2, max_phonons=4
+    ),
+    "small": HolsteinHubbardParams(
+        n_sites=6, n_up=3, n_dn=3, n_phonon_modes=3, max_phonons=6
+    ),
+    "medium": HolsteinHubbardParams(
+        n_sites=6, n_up=3, n_dn=3, n_phonon_modes=4, max_phonons=10
+    ),
+    "paper": paper_params(),
+}
+
+_SAMG_SCALE_TARGETS = {
+    "tiny": 2_000,
+    "small": 30_000,
+    "medium": 250_000,
+    "paper": 22_000_000,
+}
+
+
+_BUILD_CACHE: dict[tuple[str, str], CSRMatrix] = {}
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """A named matrix at a named scale, buildable on demand."""
+
+    name: str
+    scale: str
+    description: str
+    builder: Callable[[], CSRMatrix]
+
+    def build(self) -> CSRMatrix:
+        """Construct the matrix (may take seconds at larger scales)."""
+        return self.builder()
+
+    def build_cached(self) -> CSRMatrix:
+        """Construct once per process and reuse (callers must not mutate).
+
+        The experiment harnesses sweep many cluster configurations over
+        the same matrix; a medium Hamiltonian takes ~30 s to assemble, so
+        rebuilding per sweep point would dominate the run time.
+        """
+        key = (self.name, self.scale)
+        mat = _BUILD_CACHE.get(key)
+        if mat is None:
+            mat = self.builder()
+            _BUILD_CACHE[key] = mat
+        return mat
+
+
+def _hh_spec(name: str, scale: str, ordering: str) -> MatrixSpec:
+    params = _HH_SCALE_PARAMS[scale]
+    return MatrixSpec(
+        name=name,
+        scale=scale,
+        description=(
+            f"Holstein-Hubbard Hamiltonian, ordering {ordering}, "
+            f"dim {params.dim} ({params.electron_dim} el x {params.phonon_dim} ph)"
+        ),
+        builder=lambda: build_holstein_hubbard(params, ordering=ordering),
+    )
+
+
+def _samg_spec(scale: str) -> MatrixSpec:
+    target = _SAMG_SCALE_TARGETS[scale]
+    return MatrixSpec(
+        name="sAMG",
+        scale=scale,
+        description=f"FV Poisson on car geometry, ~{target} vertices, Nnzr ~ 7",
+        builder=lambda: build_samg_like(target),
+    )
+
+
+def available_matrices() -> list[str]:
+    """The registered matrix names."""
+    return ["HMeP", "HMEp", "sAMG"]
+
+
+def get_matrix(name: str, scale: str = "small") -> MatrixSpec:
+    """Look up a matrix preset by name and scale.
+
+    >>> spec = get_matrix("HMeP", "tiny")
+    >>> A = spec.build()
+    """
+    check_in(scale, SCALES, "scale")
+    check_in(name, available_matrices(), "name")
+    if name == "sAMG":
+        return _samg_spec(scale)
+    return _hh_spec(name, scale, ordering=name)

@@ -1,0 +1,188 @@
+"""Unstructured finite-volume Poisson matrix on a synthetic car geometry.
+
+The paper's second test matrix comes from the adaptive multigrid code
+sAMG applied to "the irregular discretization of a Poisson problem on a
+car geometry" (dimension 2.2e7, Nnzr ≈ 7).  sAMG and the original mesh
+are proprietary, so we build the closest synthetic equivalent:
+
+1. a quasi-uniform vertex cloud (jittered grid) filling a car-shaped
+   3-D domain (body + cabin + wheels, nose/tail bevels),
+2. a symmetric neighbour graph from a fixed interaction radius
+   (≈ 6 neighbours per interior vertex, like a tetrahedral FV mesh),
+3. the finite-volume Laplacian ``A = D - W`` with inverse-distance
+   weights and a Dirichlet boundary term on hull vertices (making the
+   matrix symmetric positive definite),
+4. lexicographic vertex numbering, which yields the banded occupancy
+   pattern of Fig. 1(c).
+
+Why the substitution preserves the relevant behaviour: everything the
+paper measures depends only on (a) Nnzr ≈ 7 entering the code balance
+and (b) the near-local sparsity structure that keeps halo volumes small
+under row-block partitioning — both are properties of any quasi-uniform
+FV discretisation of a compact 3-D domain, not of the specific car.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.util import check_positive_float, check_positive_int
+
+__all__ = ["CarGeometry", "car_point_cloud", "fv_laplacian", "build_samg_like"]
+
+
+@dataclass(frozen=True)
+class CarGeometry:
+    """Implicit description of a car-shaped domain in the box [0,4]x[0,1.6]x[0,2].
+
+    Units are arbitrary; proportions roughly follow a hatchback: a body
+    slab with bevelled nose/tail, a cabin on top with slanted wind
+    screens, and four wheel cylinders below the body.
+    """
+
+    length: float = 4.0
+    width: float = 1.6
+    body_height: float = 1.0
+    cabin_height: float = 0.7
+    wheel_radius: float = 0.32
+
+    def contains(self, pts: np.ndarray) -> np.ndarray:
+        """Boolean mask of points inside the car (vectorised)."""
+        x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+        wz = self.wheel_radius  # wheel axle height
+        body_lo = wz
+        body_hi = wz + self.body_height
+        cabin_hi = body_hi + self.cabin_height
+
+        in_box = (
+            (x >= 0) & (x <= self.length) & (y >= 0) & (y <= self.width) & (z >= 0)
+        )
+        # body slab with bevelled nose (front 12 %) and tail (rear 8 %)
+        body = in_box & (z >= body_lo) & (z <= body_hi)
+        nose = x < 0.12 * self.length
+        tail = x > 0.92 * self.length
+        bevel_front = z <= body_hi - (0.12 * self.length - x) * 1.2
+        bevel_rear = z <= body_hi - (x - 0.92 * self.length) * 1.0
+        body &= (~nose | bevel_front) & (~tail | bevel_rear)
+
+        # cabin with slanted windscreens between 30 % and 78 % of the length
+        cabin = (
+            in_box
+            & (z > body_hi)
+            & (z <= cabin_hi)
+            & (x >= 0.30 * self.length)
+            & (x <= 0.78 * self.length)
+        )
+        slant_front = z <= body_hi + (x - 0.30 * self.length) * 1.6
+        slant_rear = z <= body_hi + (0.78 * self.length - x) * 2.2
+        cabin &= slant_front & slant_rear
+
+        # four wheels: cylinders along y at the axle positions
+        wheels = np.zeros_like(body)
+        for ax in (0.18 * self.length, 0.82 * self.length):
+            dist2 = (x - ax) ** 2 + (z - wz) ** 2
+            cyl = in_box & (dist2 <= self.wheel_radius**2)
+            side = (y <= 0.22 * self.width) | (y >= 0.78 * self.width)
+            wheels |= cyl & side
+        return body | cabin | wheels
+
+
+def car_point_cloud(
+    n_target: int, *, seed: int = 0, jitter: float = 0.35, geometry: CarGeometry | None = None
+) -> tuple[np.ndarray, float]:
+    """Quasi-uniform vertex cloud filling the car domain.
+
+    A regular grid with spacing ``h`` (chosen so roughly ``n_target``
+    points land inside) is jittered by ``jitter * h`` and filtered by the
+    geometry.  Returns ``(points, h)`` with points sorted lexicographically
+    by grid index — the numbering that produces the banded pattern.
+    """
+    n_target = check_positive_int(n_target, "n_target")
+    geo = geometry or CarGeometry()
+    volume_box = geo.length * geo.width * (geo.wheel_radius + geo.body_height + geo.cabin_height)
+    fill = 0.55  # car fills roughly half its bounding box
+    h = (fill * volume_box / n_target) ** (1.0 / 3.0)
+    rng = np.random.default_rng(seed)
+    xs = np.arange(0.5 * h, geo.length, h)
+    ys = np.arange(0.5 * h, geo.width, h)
+    zs = np.arange(0.5 * h, geo.wheel_radius + geo.body_height + geo.cabin_height, h)
+    grid = np.stack(np.meshgrid(xs, ys, zs, indexing="ij"), axis=-1).reshape(-1, 3)
+    pts = grid + rng.uniform(-jitter * h, jitter * h, size=grid.shape)
+    inside = geo.contains(pts)
+    return np.ascontiguousarray(pts[inside]), h
+
+
+def fv_laplacian(
+    points: np.ndarray,
+    radius: float,
+    *,
+    max_neighbors: int = 12,
+    boundary_weight: float = 1.0,
+) -> CSRMatrix:
+    """Finite-volume Laplacian on a point cloud.
+
+    Vertices within *radius* are coupled with weight ``1 / d``; each row's
+    diagonal is the negated sum of its couplings plus, for hull vertices
+    (those with fewer than the median neighbour count), a Dirichlet term
+    ``boundary_weight`` that renders the matrix positive definite.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError("points must have shape (n, 3)")
+    radius = check_positive_float(radius, "radius")
+    n = points.shape[0]
+    tree = cKDTree(points)
+    pairs = tree.query_pairs(radius, output_type="ndarray")
+    if pairs.size == 0:
+        raise ValueError("interaction radius produced no edges; increase it")
+    d = np.linalg.norm(points[pairs[:, 0]] - points[pairs[:, 1]], axis=1)
+    w = 1.0 / np.maximum(d, 1e-12)
+
+    # cap the degree: drop the weakest (longest) extra edges of overfull rows
+    degree = np.zeros(n, dtype=np.int64)
+    np.add.at(degree, pairs[:, 0], 1)
+    np.add.at(degree, pairs[:, 1], 1)
+    if degree.max() > max_neighbors:
+        order = np.argsort(d, kind="stable")  # keep short edges first
+        keep = np.zeros(pairs.shape[0], dtype=bool)
+        cnt = np.zeros(n, dtype=np.int64)
+        for k in order:
+            i, j = pairs[k]
+            if cnt[i] < max_neighbors and cnt[j] < max_neighbors:
+                keep[k] = True
+                cnt[i] += 1
+                cnt[j] += 1
+        pairs, w = pairs[keep], w[keep]
+        degree = cnt
+
+    row = np.concatenate([pairs[:, 0], pairs[:, 1]])
+    col = np.concatenate([pairs[:, 1], pairs[:, 0]])
+    val = np.concatenate([-w, -w])
+    diag = np.zeros(n)
+    np.add.at(diag, row, -val)
+    hull = degree < max(1, int(np.median(degree)))
+    diag[hull] += boundary_weight
+    diag[~hull] += 1e-9  # keep strictly PD even in the interior
+    row = np.concatenate([row, np.arange(n, dtype=np.int64)])
+    col = np.concatenate([col, np.arange(n, dtype=np.int64)])
+    val = np.concatenate([val, diag])
+    return COOMatrix(n, n, row, col, val).to_csr()
+
+
+def build_samg_like(
+    n_target: int = 30_000, *, seed: int = 0, radius_factor: float = 1.21
+) -> CSRMatrix:
+    """The sAMG-like matrix: FV Poisson on the car cloud, Nnzr ≈ 7.
+
+    ``radius_factor`` scales the interaction radius in units of the grid
+    spacing; 1.21 connects face neighbours of the jittered grid (≈ 6
+    couplings per interior vertex, so Nnzr ≈ 7 with the diagonal —
+    matching the paper's sAMG matrix).
+    """
+    points, h = car_point_cloud(n_target, seed=seed)
+    return fv_laplacian(points, radius_factor * h)

@@ -1,0 +1,47 @@
+"""Node-level performance models: code balance (Eqs. 1-2), STREAM, roofline."""
+
+from repro.model.cache import (
+    CacheConfig,
+    KappaPrediction,
+    predict_kappa,
+    simulate_rhs_traffic,
+)
+from repro.model.code_balance import (
+    CodeBalanceModel,
+    code_balance,
+    code_balance_split,
+    kappa_from_bandwidth_ratio,
+    kappa_from_measurement,
+    max_performance,
+    split_penalty,
+)
+from repro.model.roofline import Roofline
+from repro.model.saturation import SaturationCurve
+from repro.model.stream import (
+    WRITE_ALLOCATE_FACTOR,
+    TriadResult,
+    measure_host_triad,
+    triad_flops,
+    triad_traffic,
+)
+
+__all__ = [
+    "CacheConfig",
+    "KappaPrediction",
+    "predict_kappa",
+    "simulate_rhs_traffic",
+    "CodeBalanceModel",
+    "code_balance",
+    "code_balance_split",
+    "kappa_from_measurement",
+    "kappa_from_bandwidth_ratio",
+    "max_performance",
+    "split_penalty",
+    "Roofline",
+    "SaturationCurve",
+    "WRITE_ALLOCATE_FACTOR",
+    "TriadResult",
+    "measure_host_triad",
+    "triad_flops",
+    "triad_traffic",
+]

@@ -1,0 +1,56 @@
+"""Roofline model: performance bounded by bandwidth and in-core peak.
+
+``P = min(P_peak, I * b)`` for computational intensity ``I`` (flops/byte),
+memory bandwidth ``b`` and peak in-core performance ``P_peak``.  The
+spMVM's intensity is the reciprocal of the code balance, so for all
+matrices considered here the bandwidth roof is the binding one — the
+model still carries the flop roof so that the claim is checked rather
+than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.code_balance import CodeBalanceModel
+from repro.util import check_positive_float
+
+__all__ = ["Roofline"]
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A two-roof performance model for one execution unit (core/LD/node).
+
+    Parameters
+    ----------
+    peak_flops:
+        In-core peak in flop/s (all cores of the unit combined).
+    bandwidth:
+        Memory bandwidth of the unit in bytes/s.
+    """
+
+    peak_flops: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        check_positive_float(self.peak_flops, "peak_flops")
+        check_positive_float(self.bandwidth, "bandwidth")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity (flops/byte) at which the two roofs intersect."""
+        return self.peak_flops / self.bandwidth
+
+    def performance(self, intensity: float) -> float:
+        """Attainable flop/s at the given computational intensity."""
+        intensity = check_positive_float(intensity, "intensity")
+        return min(self.peak_flops, intensity * self.bandwidth)
+
+    def is_memory_bound(self, intensity: float) -> bool:
+        """True when the bandwidth roof binds at this intensity."""
+        return intensity < self.ridge_intensity
+
+    def spmvm_performance(self, model: CodeBalanceModel, *, split: bool = False) -> float:
+        """Attainable spMVM flop/s under the code-balance intensity."""
+        return self.performance(1.0 / model.balance(split=split))

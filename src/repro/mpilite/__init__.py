@@ -1,0 +1,22 @@
+"""mpilite: a real, runnable MPI-like runtime over in-process threads.
+
+Functional twin of the simulated MPI (:mod:`repro.smpi`): the
+distributed spMVM executes on mpilite to verify numerics; the simulator
+predicts its timing on the paper's machines.
+"""
+
+from repro.mpilite.comm import CollectiveState, Comm, Request
+from repro.mpilite.procs import ProcComm, run_spmd_processes
+from repro.mpilite.router import Router
+from repro.mpilite.world import PerRank, run_spmd
+
+__all__ = [
+    "Comm",
+    "Request",
+    "CollectiveState",
+    "Router",
+    "run_spmd",
+    "PerRank",
+    "ProcComm",
+    "run_spmd_processes",
+]

@@ -1,0 +1,216 @@
+"""The mpilite communicator: an MPI-like API over in-process threads.
+
+This is the *functional* twin of :mod:`repro.smpi`: where the simulated
+MPI predicts timing, mpilite actually moves data, so the distributed
+spMVM (and the solvers on top of it) can be executed and verified
+numerically.  The API mirrors the mpi4py conventions the paper's
+ecosystem uses: lowercase methods move Python objects, capitalised
+``Send``/``Recv`` move numpy buffers.
+
+The GIL prevents real compute overlap (the very reason this repository
+pairs mpilite with a performance simulator — see DESIGN.md), but the
+communication *semantics* are real: blocking receives, nonblocking
+requests, deadlocks and all.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.mpilite.router import Router
+
+__all__ = ["Request", "Comm", "CollectiveState"]
+
+_BARRIER_TAG = -1
+_DEFAULT_TIMEOUT = 60.0
+
+
+@dataclass
+class Request:
+    """Handle for a nonblocking mpilite operation."""
+
+    _wait_fn: Callable[[], Any]
+    _done: bool = False
+    _value: Any = None
+
+    def wait(self) -> Any:
+        """Complete the operation, returning received data (None for sends)."""
+        if not self._done:
+            self._value = self._wait_fn()
+            self._done = True
+        return self._value
+
+    def test(self) -> bool:
+        """Nonblocking completion probe (True once :meth:`wait` would not block)."""
+        return self._done
+
+
+class CollectiveState:
+    """Shared rendezvous state for collectives of one world.
+
+    Generation counting makes every collective reusable and detects
+    mismatched participation (a rank calling ``barrier`` while another
+    calls ``allreduce`` trips the assertion on the slot type).
+    """
+
+    def __init__(self, nranks: int) -> None:
+        self.nranks = nranks
+        self._lock = threading.Condition()
+        self._slots: dict[int, dict[int, Any]] = {}
+        self._results: dict[int, Any] = {}
+        self._generation = 0
+        self._arrived = 0
+
+    def exchange(self, rank: int, value: Any, combine: Callable[[dict[int, Any]], Any]) -> Any:
+        """Deposit *value*; the last arriving rank runs *combine* over all
+        deposits; everyone gets the combined result."""
+        with self._lock:
+            gen = self._generation
+            self._slots.setdefault(gen, {})[rank] = value
+            self._arrived += 1
+            if self._arrived == self.nranks:
+                self._results[gen] = combine(self._slots.pop(gen))
+                self._arrived = 0
+                self._generation += 1
+                self._lock.notify_all()
+            else:
+                while gen not in self._results:
+                    if not self._lock.wait(timeout=_DEFAULT_TIMEOUT):
+                        raise TimeoutError(
+                            f"rank {rank}: collective generation {gen} never completed"
+                        )
+            result = self._results[gen]
+            # last reader of a generation cleans it up
+            self._slots.setdefault(-gen - 1, {})[rank] = True
+            if len(self._slots[-gen - 1]) == self.nranks:
+                del self._slots[-gen - 1]
+                del self._results[gen]
+            return result
+
+
+class Comm:
+    """Communicator bound to one rank of an mpilite world."""
+
+    def __init__(self, rank: int, router: Router, collectives: CollectiveState) -> None:
+        self._rank = rank
+        self._router = router
+        self._coll = collectives
+
+    @property
+    def rank(self) -> int:
+        """This rank's id."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """World size."""
+        return self._router.nranks
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send of any Python object (numpy arrays are copied)."""
+        self._router.put(self._rank, dest, tag, obj)
+
+    def recv(self, source: int, tag: int = 0, timeout: float = _DEFAULT_TIMEOUT) -> Any:
+        """Blocking receive of the next message from *source* with *tag*."""
+        return self._router.get(self._rank, source, tag, timeout=timeout)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send (buffered: completes immediately)."""
+        self._router.put(self._rank, dest, tag, obj)
+        req = Request(lambda: None)
+        req._done = True
+        return req
+
+    def irecv(self, source: int, tag: int = 0, timeout: float = _DEFAULT_TIMEOUT) -> Request:
+        """Nonblocking receive; :meth:`Request.wait` blocks for the data."""
+        return Request(lambda: self._router.get(self._rank, source, tag, timeout=timeout))
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffer-mode send of a numpy array."""
+        if not isinstance(buf, np.ndarray):
+            raise TypeError("Send expects a numpy array; use send() for objects")
+        self._router.put(self._rank, dest, tag, buf)
+
+    def Recv(self, buf: np.ndarray, source: int, tag: int = 0, timeout: float = _DEFAULT_TIMEOUT) -> None:
+        """Buffer-mode receive into a preallocated numpy array."""
+        data = self._router.get(self._rank, source, tag, timeout=timeout)
+        if not isinstance(data, np.ndarray):
+            raise TypeError(f"expected array message, got {type(data).__name__}")
+        if data.shape != buf.shape:
+            raise ValueError(f"receive buffer shape {buf.shape} != message shape {data.shape}")
+        buf[...] = data
+
+    def waitall(self, requests: Sequence[Request]) -> list[Any]:
+        """Complete a set of requests, returning their values in order."""
+        return [r.wait() for r in requests]
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronise all ranks."""
+        self._coll.exchange(self._rank, None, lambda slots: None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast *obj* from *root* to everyone (returned on all ranks)."""
+        return self._coll.exchange(
+            self._rank, obj if self._rank == root else None, lambda slots: slots[root]
+        )
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Reduce over all ranks (default: sum) with the result everywhere.
+
+        numpy arrays reduce elementwise; scalars reduce to a scalar.
+        """
+        import functools
+
+        op = op or (lambda a, b: a + b)
+
+        def combine(slots: dict[int, Any]) -> Any:
+            ordered = [slots[r] for r in sorted(slots)]
+            return functools.reduce(op, ordered)
+
+        return self._coll.exchange(self._rank, value, combine)
+
+    def allgather(self, value: Any) -> list[Any]:
+        """Gather one value per rank, delivered to everyone in rank order."""
+        return self._coll.exchange(
+            self._rank, value, lambda slots: [slots[r] for r in sorted(slots)]
+        )
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        """Gather to *root* (others get None)."""
+        out = self.allgather(value)
+        return out if self._rank == root else None
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter a sequence from *root*, one element per rank."""
+        spread = self.bcast(list(values) if self._rank == root and values is not None else None, root)
+        if spread is None or len(spread) != self.size:
+            raise ValueError("scatter requires a length-size sequence on root")
+        return spread[self._rank]
+
+    def alltoallv(self, chunks: dict[int, np.ndarray], tag: int = 0) -> dict[int, np.ndarray]:
+        """Exchange per-peer arrays: send ``chunks[q]`` to q, receive from
+        every rank that targeted us.
+
+        Every rank must call this with a (possibly empty) dict; the set of
+        senders is established with an allgather of target lists, then the
+        payloads move point-to-point.
+        """
+        targets = sorted(chunks)
+        all_targets = self.allgather(targets)
+        senders = [r for r, t in enumerate(all_targets) if self._rank in t]
+        for q in targets:
+            self.Send(chunks[q], q, tag)
+        out: dict[int, np.ndarray] = {}
+        for s in senders:
+            out[s] = self._router.get(self._rank, s, tag, timeout=_DEFAULT_TIMEOUT)
+        return out

@@ -1,0 +1,89 @@
+"""Message router shared by all ranks of an mpilite world.
+
+A single in-process mailbox system: each (destination, source, tag)
+triple owns a FIFO of messages; receivers block on a condition variable.
+Sends are *buffered* (they complete immediately after depositing a copy),
+matching MPI's standard-mode semantics for small/medium messages.
+
+numpy payloads are copied on send so that the sender may reuse its
+buffer immediately — the same guarantee ``MPI_Send`` gives once it
+returns.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Router"]
+
+
+def _copy_payload(payload: Any) -> Any:
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    return payload
+
+
+class Router:
+    """Thread-safe mailbox router for one mpilite world."""
+
+    def __init__(self, nranks: int) -> None:
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self._lock = threading.Condition()
+        self._boxes: dict[tuple[int, int, int], deque[Any]] = {}
+        self._bytes_routed = 0
+        self._messages = 0
+
+    # ------------------------------------------------------------------
+    def put(self, src: int, dst: int, tag: int, payload: Any) -> None:
+        """Deposit a message (copies numpy payloads)."""
+        self._check_rank(src, "src")
+        self._check_rank(dst, "dst")
+        item = _copy_payload(payload)
+        with self._lock:
+            self._boxes.setdefault((dst, src, tag), deque()).append(item)
+            self._messages += 1
+            if isinstance(item, np.ndarray):
+                self._bytes_routed += item.nbytes
+            self._lock.notify_all()
+
+    def get(self, dst: int, src: int, tag: int, timeout: float | None = None) -> Any:
+        """Blocking receive of the next matching message.
+
+        Raises :class:`TimeoutError` if *timeout* (seconds) elapses — the
+        safety net that turns an mpilite deadlock into a test failure
+        instead of a hang.
+        """
+        key = (dst, src, tag)
+        with self._lock:
+            while True:
+                box = self._boxes.get(key)
+                if box:
+                    return box.popleft()
+                if not self._lock.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"rank {dst}: no message from {src} with tag {tag} "
+                        f"after {timeout} s"
+                    )
+
+    def poll(self, dst: int, src: int, tag: int) -> bool:
+        """True when a matching message is waiting."""
+        with self._lock:
+            box = self._boxes.get((dst, src, tag))
+            return bool(box)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict[str, int]:
+        """Router counters (messages, numpy bytes routed)."""
+        with self._lock:
+            return {"messages": self._messages, "bytes": self._bytes_routed}
+
+    def _check_rank(self, rank: int, name: str) -> None:
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"{name}={rank} out of range for world size {self.nranks}")

@@ -1,0 +1,80 @@
+"""Launching SPMD functions on an mpilite world.
+
+:func:`run_spmd` is the ``mpiexec`` equivalent: it spawns one thread per
+rank, hands each a :class:`~repro.mpilite.comm.Comm`, runs the given
+function everywhere and collects the per-rank return values.  Exceptions
+on any rank are re-raised on the caller (first failing rank wins) so
+test failures stay loud.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.mpilite.comm import CollectiveState, Comm
+from repro.mpilite.router import Router
+from repro.util import check_positive_int
+
+__all__ = ["run_spmd"]
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = 120.0,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on *nranks* ranks; return results.
+
+    Per-rank positional arguments may be supplied by passing a list/tuple
+    whose length equals *nranks* wrapped in :class:`PerRank`.
+    """
+    nranks = check_positive_int(nranks, "nranks")
+    router = Router(nranks)
+    coll = CollectiveState(nranks)
+    results: list[Any] = [None] * nranks
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = Comm(rank, router, coll)
+        rank_args = tuple(a.values[rank] if isinstance(a, PerRank) else a for a in args)
+        rank_kwargs = {
+            k: (v.values[rank] if isinstance(v, PerRank) else v) for k, v in kwargs.items()
+        }
+        try:
+            results[rank] = fn(comm, *rank_args, **rank_kwargs)
+        except BaseException as exc:  # noqa: BLE001 - surface everything
+            with lock:
+                errors.append((rank, exc))
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"mpilite-rank-{r}", daemon=True)
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+    alive = [t for t in threads if t.is_alive()]
+    if alive:
+        raise TimeoutError(
+            f"{len(alive)} rank(s) did not finish within {timeout} s "
+            f"(likely an mpilite deadlock): {[t.name for t in alive]}"
+        )
+    if errors:
+        rank, exc = min(errors, key=lambda e: e[0])
+        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    return results
+
+
+class PerRank:
+    """Marks an argument of :func:`run_spmd` as per-rank (one value each)."""
+
+    def __init__(self, values: list[Any]) -> None:
+        self.values = list(values)
+
+    def __len__(self) -> int:
+        return len(self.values)

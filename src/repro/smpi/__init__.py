@@ -1,0 +1,5 @@
+"""Simulated MPI with configurable progress semantics (see paper Sect. 3)."""
+
+from repro.smpi.api import MPIConfig, SimMPI, SimRequest
+
+__all__ = ["MPIConfig", "SimMPI", "SimRequest"]

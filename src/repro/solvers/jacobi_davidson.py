@@ -1,0 +1,170 @@
+"""Jacobi-Davidson eigensolver for the lowest eigenpair.
+
+The second eigensolver the paper names for the exact-diagonalization
+workload ("Iterative algorithms such as Lanczos or Jacobi-Davidson…").
+A compact real-symmetric implementation:
+
+* search space expanded one vector at a time, Rayleigh-Ritz extraction,
+* the correction equation ``(I - u uᵀ)(A - θ I)(I - u uᵀ) t = -r`` is
+  solved approximately with a few steps of MINRES-like CG on the
+  projected operator (standard inexact JD),
+* restarts keep the basis bounded.
+
+Like everything else in :mod:`repro.solvers`, it runs on the operator
+abstraction — all global communication happens through ``op.dot``/
+``op.matvec``, so the SPMD path gets the distributed spMVM for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.operators import LinearOperator
+from repro.util import check_positive_int
+
+__all__ = ["JDResult", "jacobi_davidson"]
+
+
+@dataclass
+class JDResult:
+    """Outcome of a Jacobi-Davidson run."""
+
+    eigenvalue: float
+    eigenvector: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norm: float
+    residual_history: list[float]
+
+
+def _solve_correction(
+    op: LinearOperator,
+    u: np.ndarray,
+    theta: float,
+    r: np.ndarray,
+    steps: int,
+) -> np.ndarray:
+    """Approximately solve the projected correction equation with CG.
+
+    Operator: ``t ↦ (I - u uᵀ)(A - θ I)(I - u uᵀ) t`` — symmetric (and
+    positive definite near a well-separated lowest eigenvalue after
+    projection), so a handful of CG steps give a useful correction.
+    """
+
+    def apply(t: np.ndarray) -> np.ndarray:
+        t_proj = t - op.dot(u, t) * u
+        w = op.matvec(t_proj) - theta * t_proj
+        return w - op.dot(u, w) * u
+
+    b = -(r - op.dot(u, r) * u)
+    t = np.zeros_like(b)
+    res = b.copy()
+    p = res.copy()
+    rz = op.dot(res, res)
+    if rz == 0.0:
+        return b
+    for _ in range(steps):
+        ap = apply(p)
+        pap = op.dot(p, ap)
+        if abs(pap) < 1e-300:
+            break
+        alpha = rz / pap
+        t += alpha * p
+        res -= alpha * ap
+        rz_new = op.dot(res, res)
+        if rz_new <= 1e-28 * rz:
+            break
+        p = res + (rz_new / rz) * p
+        rz = rz_new
+    return t if op.norm(t) > 0 else b
+
+
+def jacobi_davidson(
+    op: LinearOperator,
+    *,
+    max_iter: int = 100,
+    tol: float = 1e-8,
+    max_subspace: int = 20,
+    correction_steps: int = 8,
+    seed: int = 0,
+    v0: np.ndarray | None = None,
+) -> JDResult:
+    """Find the lowest eigenpair of a symmetric operator.
+
+    Parameters
+    ----------
+    op:
+        Symmetric linear operator.
+    max_iter:
+        Outer (expansion) iterations.
+    tol:
+        Residual norm tolerance ``||A u - θ u|| <= tol``.
+    max_subspace:
+        Basis size before a thick restart (keeps the 3 best Ritz vectors).
+    correction_steps:
+        Inner CG steps on the correction equation.
+    seed / v0:
+        Starting vector.
+    """
+    check_positive_int(max_iter, "max_iter")
+    if max_subspace < 4:
+        raise ValueError("max_subspace must be at least 4")
+    n = op.local_size
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(n) if v0 is None else np.asarray(v0, dtype=np.float64).copy()
+    nv = op.norm(v)
+    if nv == 0:
+        raise ValueError("starting vector must be nonzero")
+    v /= nv
+    basis: list[np.ndarray] = [v]
+    images: list[np.ndarray] = [op.matvec(v)]
+    history: list[float] = []
+    theta = op.dot(basis[0], images[0])
+    u = basis[0]
+    r = images[0] - theta * u
+    for it in range(1, max_iter + 1):
+        # Rayleigh-Ritz on the current basis
+        k = len(basis)
+        h = np.empty((k, k))
+        for i in range(k):
+            for j in range(i, k):
+                h[i, j] = h[j, i] = op.dot(basis[i], images[j])
+        evals, evecs = np.linalg.eigh(h)
+        theta = float(evals[0])
+        c = evecs[:, 0]
+        u = sum(ci * bi for ci, bi in zip(c, basis))
+        au = sum(ci * wi for ci, wi in zip(c, images))
+        r = au - theta * u
+        res_norm = op.norm(r)
+        history.append(res_norm)
+        if res_norm <= tol:
+            return JDResult(theta, u, it, True, res_norm, history)
+        # restart: keep the three lowest Ritz vectors
+        if len(basis) >= max_subspace:
+            keep = min(3, len(basis))
+            new_basis, new_images = [], []
+            for m in range(keep):
+                cm = evecs[:, m]
+                bm = sum(ci * bi for ci, bi in zip(cm, basis))
+                wm = sum(ci * wi for ci, wi in zip(cm, images))
+                new_basis.append(bm)
+                new_images.append(wm)
+            basis, images = new_basis, new_images
+        # correction equation
+        t = _solve_correction(op, u, theta, r, correction_steps)
+        # orthogonalise against the basis (twice, for stability)
+        for _ in range(2):
+            for b in basis:
+                t -= op.dot(b, t) * b
+        nt = op.norm(t)
+        if nt < 1e-14:
+            t = rng.standard_normal(n)
+            for b in basis:
+                t -= op.dot(b, t) * b
+            nt = op.norm(t)
+        t /= nt
+        basis.append(t)
+        images.append(op.matvec(t))
+    return JDResult(theta, u, max_iter, False, history[-1], history)

@@ -1,0 +1,109 @@
+"""Linear-operator abstraction shared by all solvers.
+
+Solvers only need ``shape``, ``matvec`` and inner products.  The two
+implementations are
+
+* :class:`SerialOperator` — wraps a :class:`~repro.sparse.csr.CSRMatrix`
+  (or anything with ``matvec``/``shape``) for single-process use, and
+* :class:`DistributedOperator` — one rank's view of a distributed matrix
+  over mpilite: matvec is the halo-exchanged spMVM (any Fig. 4 scheme),
+  inner products are allreduces.  An entire Lanczos or CG run then
+  executes SPMD, exactly as the paper's application codes do.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.halo import RankHalo
+from repro.core.spmvm import DistributedSpMVM
+from repro.mpilite.comm import Comm
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["LinearOperator", "SerialOperator", "DistributedOperator"]
+
+
+@runtime_checkable
+class LinearOperator(Protocol):
+    """What a solver needs from an operator."""
+
+    @property
+    def local_size(self) -> int:
+        """Length of the locally held vector slice."""
+        ...
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the operator to the local slice (communicating if needed)."""
+        ...
+
+    def dot(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Global inner product of two distributed vectors."""
+        ...
+
+    def norm(self, x: np.ndarray) -> float:
+        """Global 2-norm."""
+        ...
+
+
+class SerialOperator:
+    """A plain single-process operator around a CSR matrix."""
+
+    def __init__(self, A: CSRMatrix) -> None:
+        if A.nrows != A.ncols:
+            raise ValueError("solvers require a square operator")
+        self.A = A
+
+    @property
+    def local_size(self) -> int:
+        """Vector length (the full dimension)."""
+        return self.A.nrows
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x``."""
+        return self.A.matvec(x)
+
+    def dot(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Ordinary inner product."""
+        return float(np.dot(x, y))
+
+    def norm(self, x: np.ndarray) -> float:
+        """Ordinary 2-norm."""
+        return float(np.linalg.norm(x))
+
+
+class DistributedOperator:
+    """One rank's handle on a distributed matrix (SPMD solvers).
+
+    Parameters
+    ----------
+    comm:
+        mpilite communicator.
+    halo:
+        This rank's halo plan (with sub-matrices).
+    scheme:
+        Which Fig. 4 execution scheme the matvec uses.
+    """
+
+    def __init__(self, comm: Comm, halo: RankHalo, scheme: str = "task_mode") -> None:
+        self.comm = comm
+        self.engine = DistributedSpMVM(comm, halo)
+        self.scheme = scheme
+
+    @property
+    def local_size(self) -> int:
+        """Rows owned by this rank."""
+        return self.engine.halo.n_rows
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Halo-exchanged distributed spMVM."""
+        return self.engine.multiply(x, self.scheme)
+
+    def dot(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Allreduce inner product."""
+        return float(self.comm.allreduce(float(np.dot(x, y))))
+
+    def norm(self, x: np.ndarray) -> float:
+        """Allreduce 2-norm."""
+        return float(np.sqrt(self.dot(x, x)))

@@ -1,0 +1,72 @@
+"""Sparse matrix substrate: CRS/CSR storage, kernels, reordering, partitioning.
+
+This package implements, from scratch, everything the paper's Sect. 1.2
+and 3.1 rely on: the CRS format and its matrix-vector kernels (including
+the split local/nonlocal kernel of the overlap schemes), Reverse
+Cuthill-McKee reordering, row-block partitioners, structure statistics,
+block-occupancy pattern aggregation (Fig. 1) and Matrix Market I/O.
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.io import (
+    dumps_matrix_market,
+    loads_matrix_market,
+    read_matrix_market,
+    write_matrix_market,
+)
+from repro.sparse.kron import kron, kron_diag_left, kron_sum
+from repro.sparse.matmul import matmul
+from repro.sparse.partition import (
+    RowPartition,
+    partition_matrix,
+    partition_nnz_balanced,
+    partition_rows_balanced,
+)
+from repro.sparse.patterns import OccupancyGrid, block_occupancy
+from repro.sparse.reorder import (
+    bfs_levels,
+    cuthill_mckee,
+    pseudo_peripheral_node,
+    reverse_cuthill_mckee,
+)
+from repro.sparse.spmv import flops, spmv, spmv_add, spmv_rows, spmv_split, spmv_traffic
+from repro.sparse.stats import MatrixStats, bandwidth, matrix_stats, profile, row_nnz_histogram
+from repro.sparse.symmetric import SymmetricCSR, spmv_symmetric, symmetric_code_balance
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "RowPartition",
+    "partition_matrix",
+    "partition_nnz_balanced",
+    "partition_rows_balanced",
+    "kron",
+    "kron_diag_left",
+    "kron_sum",
+    "matmul",
+    "OccupancyGrid",
+    "block_occupancy",
+    "cuthill_mckee",
+    "reverse_cuthill_mckee",
+    "bfs_levels",
+    "pseudo_peripheral_node",
+    "spmv",
+    "spmv_add",
+    "spmv_rows",
+    "spmv_split",
+    "spmv_traffic",
+    "flops",
+    "MatrixStats",
+    "matrix_stats",
+    "bandwidth",
+    "profile",
+    "row_nnz_histogram",
+    "SymmetricCSR",
+    "spmv_symmetric",
+    "symmetric_code_balance",
+    "write_matrix_market",
+    "read_matrix_market",
+    "dumps_matrix_market",
+    "loads_matrix_market",
+]

@@ -1,0 +1,147 @@
+"""Coordinate-format (COO) sparse matrix container.
+
+COO is the natural *assembly* format: matrix generators emit
+``(row, col, value)`` triplets and convert to CRS/CSR once at the end.
+The class stores three parallel arrays and provides duplicate summing,
+sorting and conversion.  It deliberately implements only what the
+generators and tests need — the computational workhorse is
+:class:`repro.sparse.csr.CSRMatrix`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.util import check_array_1d, check_nonnegative_int, check_same_length
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sparse.csr import CSRMatrix
+
+__all__ = ["COOMatrix"]
+
+
+@dataclass
+class COOMatrix:
+    """Sparse matrix in coordinate (triplet) format.
+
+    Parameters
+    ----------
+    nrows, ncols:
+        Matrix dimensions.
+    row, col:
+        Integer index arrays of equal length.
+    val:
+        Value array of the same length (float64).
+
+    Duplicate ``(row, col)`` entries are allowed and are *summed* on
+    conversion to CSR, matching the behaviour of standard assembly codes.
+    """
+
+    nrows: int
+    ncols: int
+    row: np.ndarray
+    col: np.ndarray
+    val: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.nrows = check_nonnegative_int(self.nrows, "nrows")
+        self.ncols = check_nonnegative_int(self.ncols, "ncols")
+        self.row = check_array_1d(self.row, "row", dtype=np.int64)
+        self.col = check_array_1d(self.col, "col", dtype=np.int64)
+        self.val = check_array_1d(self.val, "val", dtype=np.float64)
+        check_same_length("row", self.row, "col", self.col)
+        check_same_length("row", self.row, "val", self.val)
+        if self.row.size:
+            if self.row.min() < 0 or self.row.max() >= self.nrows:
+                raise ValueError("row indices out of range")
+            if self.col.min() < 0 or self.col.max() >= self.ncols:
+                raise ValueError("col indices out of range")
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(nrows, ncols)``."""
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (duplicates counted separately)."""
+        return int(self.val.size)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, nrows: int, ncols: int) -> "COOMatrix":
+        """A matrix with no stored entries."""
+        z = np.zeros(0, dtype=np.int64)
+        return cls(nrows, ncols, z, z.copy(), np.zeros(0))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, *, tol: float = 0.0) -> "COOMatrix":
+        """Extract entries with ``|a_ij| > tol`` from a dense array."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError(f"dense must be 2-D, got shape {dense.shape}")
+        rows, cols = np.nonzero(np.abs(dense) > tol)
+        return cls(dense.shape[0], dense.shape[1], rows, cols, dense[rows, cols])
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def sum_duplicates(self) -> "COOMatrix":
+        """Return a copy in which duplicate ``(row, col)`` entries are summed
+        and entries are sorted by row then column."""
+        if self.nnz == 0:
+            return COOMatrix.empty(self.nrows, self.ncols)
+        key = self.row * np.int64(self.ncols) + self.col
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        val_sorted = self.val[order]
+        uniq_mask = np.empty(key_sorted.size, dtype=bool)
+        uniq_mask[0] = True
+        np.not_equal(key_sorted[1:], key_sorted[:-1], out=uniq_mask[1:])
+        starts = np.flatnonzero(uniq_mask)
+        sums = np.add.reduceat(val_sorted, starts)
+        uk = key_sorted[starts]
+        return COOMatrix(
+            self.nrows,
+            self.ncols,
+            (uk // self.ncols).astype(np.int64),
+            (uk % self.ncols).astype(np.int64),
+            sums,
+        )
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose (swap row/col arrays)."""
+        return COOMatrix(self.ncols, self.nrows, self.col.copy(), self.row.copy(), self.val.copy())
+
+    def drop_zeros(self, tol: float = 0.0) -> "COOMatrix":
+        """Return a copy without entries with ``|value| <= tol``."""
+        keep = np.abs(self.val) > tol
+        return COOMatrix(self.nrows, self.ncols, self.row[keep], self.col[keep], self.val[keep])
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_csr(self) -> "CSRMatrix":
+        """Convert to CSR, summing duplicate entries."""
+        from repro.sparse.csr import CSRMatrix
+
+        clean = self.sum_duplicates()
+        row_ptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.add.at(row_ptr, clean.row + 1, 1)
+        np.cumsum(row_ptr, out=row_ptr)
+        # sum_duplicates already sorted by (row, col)
+        return CSRMatrix(row_ptr, clean.col.copy(), clean.val.copy(), ncols=self.ncols)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense float64 array (test-scale only)."""
+        out = np.zeros(self.shape)
+        np.add.at(out, (self.row, self.col), self.val)
+        return out

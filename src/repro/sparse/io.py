@@ -1,0 +1,115 @@
+"""Matrix Market (.mtx) I/O for CSR matrices.
+
+A minimal but standard-conformant reader/writer for the ``coordinate
+real general/symmetric`` flavour of the Matrix Market exchange format,
+so matrices generated here can be exported to (and imported from) other
+spMVM codes.  Written against the NIST format specification; no scipy
+involvement.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["write_matrix_market", "read_matrix_market", "dumps_matrix_market", "loads_matrix_market"]
+
+
+def _write(A: CSRMatrix, fh: TextIO, *, symmetric: bool, comment: str | None) -> None:
+    kind = "symmetric" if symmetric else "general"
+    fh.write(f"%%MatrixMarket matrix coordinate real {kind}\n")
+    if comment:
+        for line in comment.splitlines():
+            fh.write(f"% {line}\n")
+    coo = A.to_coo()
+    if symmetric:
+        keep = coo.row >= coo.col  # lower triangle incl. diagonal
+        rows, cols, vals = coo.row[keep], coo.col[keep], coo.val[keep]
+    else:
+        rows, cols, vals = coo.row, coo.col, coo.val
+    fh.write(f"{A.nrows} {A.ncols} {rows.size}\n")
+    for r, c, v in zip(rows, cols, vals):
+        fh.write(f"{int(r) + 1} {int(c) + 1} {float(v)!r}\n")
+
+
+def write_matrix_market(
+    A: CSRMatrix,
+    path: str | Path,
+    *,
+    symmetric: bool = False,
+    comment: str | None = None,
+) -> None:
+    """Write *A* to a Matrix Market file.
+
+    With ``symmetric=True`` only the lower triangle is stored and the
+    header declares ``symmetric``; the matrix must actually be symmetric
+    (not verified here for speed — use :meth:`CSRMatrix.is_symmetric`).
+    """
+    with open(path, "w", encoding="ascii") as fh:
+        _write(A, fh, symmetric=symmetric, comment=comment)
+
+
+def dumps_matrix_market(A: CSRMatrix, *, symmetric: bool = False, comment: str | None = None) -> str:
+    """Serialise *A* to a Matrix Market string."""
+    buf = io.StringIO()
+    _write(A, buf, symmetric=symmetric, comment=comment)
+    return buf.getvalue()
+
+
+def _read(fh: TextIO) -> CSRMatrix:
+    header = fh.readline()
+    if not header.startswith("%%MatrixMarket"):
+        raise ValueError("not a Matrix Market file (missing %%MatrixMarket header)")
+    tokens = header.strip().split()
+    if len(tokens) < 5:
+        raise ValueError(f"malformed header: {header.strip()!r}")
+    _, obj, fmt, field, kind = tokens[:5]
+    if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+        raise ValueError(f"unsupported Matrix Market type: {obj} {fmt}")
+    if field.lower() not in ("real", "integer"):
+        raise ValueError(f"unsupported field type: {field}")
+    kind = kind.lower()
+    if kind not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry: {kind}")
+    line = fh.readline()
+    while line.startswith("%"):
+        line = fh.readline()
+    parts = line.split()
+    if len(parts) != 3:
+        raise ValueError(f"malformed size line: {line.strip()!r}")
+    nrows, ncols, nnz = (int(p) for p in parts)
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz)
+    for k in range(nnz):
+        entry = fh.readline().split()
+        if len(entry) != 3:
+            raise ValueError(f"malformed entry line {k + 1}: expected 'i j v'")
+        rows[k] = int(entry[0]) - 1
+        cols[k] = int(entry[1]) - 1
+        vals[k] = float(entry[2])
+    if kind == "symmetric":
+        off = rows != cols  # mirror off-diagonal entries to the other triangle
+        rows, cols = np.concatenate([rows, cols[off]]), np.concatenate([cols, rows[off]])
+        vals = np.concatenate([vals, vals[off]])
+    return COOMatrix(nrows, ncols, rows, cols, vals).to_csr()
+
+
+def read_matrix_market(path: str | Path) -> CSRMatrix:
+    """Read a Matrix Market coordinate file into a :class:`CSRMatrix`.
+
+    ``symmetric`` files are expanded to full storage on load.
+    """
+    with open(path, "r", encoding="ascii") as fh:
+        return _read(fh)
+
+
+def loads_matrix_market(text: str) -> CSRMatrix:
+    """Parse a Matrix Market string into a :class:`CSRMatrix`."""
+    return _read(io.StringIO(text))

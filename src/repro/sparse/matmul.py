@@ -1,0 +1,43 @@
+"""Sparse matrix-matrix product (vectorised expand-and-collapse).
+
+Needed by the algebraic-multigrid substrate for the Galerkin triple
+product ``R A P``.  The implementation expands every scalar product
+``a_ik * b_kj`` into a COO triplet in one vectorised pass and collapses
+duplicates; memory is proportional to the number of scalar products,
+which is fine for the AMG operators (interpolation is very sparse).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["matmul"]
+
+
+def matmul(A: CSRMatrix, B: CSRMatrix) -> CSRMatrix:
+    """Compute the sparse product ``A @ B``.
+
+    Raises :class:`ValueError` on inner-dimension mismatch.
+    """
+    if A.ncols != B.nrows:
+        raise ValueError(f"inner dimensions differ: {A.shape} @ {B.shape}")
+    if A.nnz == 0 or B.nnz == 0:
+        return COOMatrix.empty(A.nrows, B.ncols).to_csr()
+    a_rows = np.repeat(np.arange(A.nrows, dtype=np.int64), A.row_nnz())
+    # each A entry (i, k) pairs with all entries of B's row k
+    b_counts = B.row_nnz()[A.col_idx]
+    total = int(b_counts.sum())
+    if total == 0:
+        return COOMatrix.empty(A.nrows, B.ncols).to_csr()
+    rows_out = np.repeat(a_rows, b_counts)
+    starts = np.repeat(B.row_ptr[A.col_idx], b_counts)
+    prefix = np.zeros(A.nnz + 1, dtype=np.int64)
+    np.cumsum(b_counts, out=prefix[1:])
+    within = np.arange(total, dtype=np.int64) - np.repeat(prefix[:-1], b_counts)
+    gather = starts + within
+    cols_out = B.col_idx[gather]
+    vals_out = np.repeat(A.val, b_counts) * B.val[gather]
+    return COOMatrix(A.nrows, B.ncols, rows_out, cols_out, vals_out).to_csr()

@@ -1,0 +1,160 @@
+"""Sparse matrix-vector multiplication kernels.
+
+The paper's reference kernel (Sect. 1.2) is the classic two-loop CRS
+code; in Python the equivalent O(nnz) vectorised formulation is the
+*segmented sum*: multiply ``val`` with the gathered RHS elements, take a
+cumulative sum, and difference it at the row boundaries.  All kernels
+here share that core so that the split local/nonlocal variants add
+results in a deterministic order.
+
+Kernels
+-------
+``spmv``            full product ``C = A @ B``
+``spmv_add``        accumulate ``C += A @ B``
+``spmv_rows``       product restricted to a contiguous row range
+``spmv_split``      two-phase product: local part first, remote part
+                    added afterwards (Fig. 4 b/c execution order)
+``spmv_traffic``    bytes of main-memory traffic the paper's model
+                    attributes to one product
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.csr import CSRMatrix
+
+from repro.sparse.csr import IDX_BYTES, RESULT_BYTES, RHS_BYTES, VAL_BYTES
+
+__all__ = [
+    "spmv",
+    "spmv_add",
+    "spmv_rows",
+    "spmv_split",
+    "spmv_traffic",
+    "flops",
+]
+
+
+def _segmented_rowsums(
+    row_ptr: np.ndarray, col_idx: np.ndarray, val: np.ndarray, x: np.ndarray
+) -> np.ndarray:
+    """Per-row sums of ``val * x[col_idx]`` via cumulative-sum differencing.
+
+    Handles empty rows naturally (difference of equal offsets is 0).
+    """
+    if col_idx.size == 0:
+        return np.zeros(row_ptr.size - 1)
+    prod = val * x[col_idx]
+    csum = np.empty(prod.size + 1)
+    csum[0] = 0.0
+    np.cumsum(prod, out=csum[1:])
+    return csum[row_ptr[1:]] - csum[row_ptr[:-1]]
+
+
+def spmv(A: "CSRMatrix", x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Compute ``C = A @ B`` for a CSR matrix and a dense vector.
+
+    Parameters
+    ----------
+    A:
+        CSR matrix of shape ``(m, n)``.
+    x:
+        Dense vector of length ``n``.
+    out:
+        Optional preallocated result of length ``m`` (overwritten).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size != A.ncols:
+        raise ValueError(f"x must be a vector of length {A.ncols}, got shape {x.shape}")
+    y = _segmented_rowsums(A.row_ptr, A.col_idx, A.val, x)
+    if out is None:
+        return y
+    if out.shape != (A.nrows,):
+        raise ValueError(f"out must have shape ({A.nrows},), got {out.shape}")
+    out[:] = y
+    return out
+
+
+def spmv_add(A: "CSRMatrix", x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Accumulate ``C += A @ B`` into a preallocated vector."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size != A.ncols:
+        raise ValueError(f"x must be a vector of length {A.ncols}, got shape {x.shape}")
+    if out.shape != (A.nrows,):
+        raise ValueError(f"out must have shape ({A.nrows},), got {out.shape}")
+    out += _segmented_rowsums(A.row_ptr, A.col_idx, A.val, x)
+    return out
+
+
+def spmv_rows(
+    A: "CSRMatrix", x: np.ndarray, row_lo: int, row_hi: int, out: np.ndarray
+) -> np.ndarray:
+    """Compute rows ``[row_lo, row_hi)`` of ``A @ B`` into ``out`` (length m).
+
+    Rows outside the range are left untouched — this is the building block
+    for explicit work distribution across compute threads (the paper's task
+    mode cannot use OpenMP worksharing and assigns one contiguous chunk of
+    nonzeros per thread, Sect. 3.2).
+    """
+    if not (0 <= row_lo <= row_hi <= A.nrows):
+        raise ValueError(f"invalid row range [{row_lo}, {row_hi})")
+    x = np.asarray(x, dtype=np.float64)
+    lo = int(A.row_ptr[row_lo])
+    hi = int(A.row_ptr[row_hi])
+    sub_ptr = A.row_ptr[row_lo : row_hi + 1] - lo
+    out[row_lo:row_hi] = _segmented_rowsums(sub_ptr, A.col_idx[lo:hi], A.val[lo:hi], x)
+    return out
+
+
+def spmv_split(
+    A_local: "CSRMatrix",
+    A_remote: "CSRMatrix",
+    x_local: np.ndarray,
+    x_remote: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Two-phase product: ``C = A_local @ x_local`` then ``C += A_remote @ x_remote``.
+
+    Mirrors the execution order of the overlap schemes: the local part is
+    computed while communication is (nominally) in flight, the remote part
+    after all halo data has arrived.  Writing ``C`` twice is exactly the
+    extra traffic Eq. 2 charges (16/Nnzr additional bytes per inner
+    iteration).
+    """
+    if A_local.nrows != A_remote.nrows:
+        raise ValueError("local and remote parts must have the same row count")
+    if out is None:
+        out = np.zeros(A_local.nrows)
+    spmv(A_local, x_local, out=out)
+    spmv_add(A_remote, x_remote, out=out)
+    return out
+
+
+def flops(A: "CSRMatrix") -> int:
+    """Floating point operations of one product: 2 per nonzero."""
+    return 2 * A.nnz
+
+
+def spmv_traffic(A: "CSRMatrix", *, kappa: float = 0.0, split: bool = False) -> float:
+    """Bytes of main-memory traffic for one ``A @ B`` per the paper's model.
+
+    ``val`` and ``col_idx`` are streamed once, the result vector costs
+    16 bytes per row (32 when the kernel is split and writes it twice),
+    the RHS is loaded at least once (8 bytes per column) plus ``kappa``
+    extra bytes per inner-loop iteration for cache-capacity reloads.
+
+    This is the per-MVM absolute form of Eq. 1 / Eq. 2: dividing by
+    ``flops(A)`` recovers ``B_CRS`` in bytes/flop.
+    """
+    if kappa < 0:
+        raise ValueError(f"kappa must be >= 0, got {kappa}")
+    result_bytes = RESULT_BYTES * (2 if split else 1)
+    return (
+        (VAL_BYTES + IDX_BYTES + kappa) * A.nnz
+        + result_bytes * A.nrows
+        + RHS_BYTES * A.ncols
+    )

@@ -1,0 +1,52 @@
+"""Shared utilities: validation, unit handling, text tables/charts."""
+
+from repro.util.checks import (
+    check_array_1d,
+    check_dtype_real,
+    check_fraction,
+    check_in,
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+    check_same_length,
+    check_sorted_nondecreasing,
+    require,
+)
+from repro.util.tables import Table, ascii_chart, ascii_heatmap, format_table
+from repro.util.units import (
+    GB,
+    GIB,
+    format_bytes,
+    format_time,
+    gb_per_s,
+    gflop_per_s,
+    to_gb_per_s,
+    to_gflop_per_s,
+    usec,
+)
+
+__all__ = [
+    "require",
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_positive_float",
+    "check_fraction",
+    "check_in",
+    "check_array_1d",
+    "check_same_length",
+    "check_dtype_real",
+    "check_sorted_nondecreasing",
+    "Table",
+    "format_table",
+    "ascii_chart",
+    "ascii_heatmap",
+    "GB",
+    "GIB",
+    "gb_per_s",
+    "gflop_per_s",
+    "to_gb_per_s",
+    "to_gflop_per_s",
+    "usec",
+    "format_bytes",
+    "format_time",
+]

@@ -1,0 +1,84 @@
+"""Unit helpers and constants used by the performance models.
+
+All bandwidths in this library are in **bytes per second**, all times in
+**seconds**, all rates in **flops per second**, unless a name says
+otherwise (e.g. ``gib``).  The helpers below exist so that calibration
+constants taken from the paper ("21.2 GB/s", "2.25 GFlop/s") can be
+written exactly as printed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "gb_per_s",
+    "gflop_per_s",
+    "to_gb_per_s",
+    "to_gflop_per_s",
+    "usec",
+    "format_bytes",
+    "format_time",
+]
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+# The paper (and STREAM) use decimal GB/s.
+KB = 10**3
+MB = 10**6
+GB = 10**9
+
+
+def gb_per_s(value: float) -> float:
+    """Convert a bandwidth given in decimal GB/s to bytes/s."""
+    return float(value) * GB
+
+
+def gflop_per_s(value: float) -> float:
+    """Convert a rate given in GFlop/s to flop/s."""
+    return float(value) * 1e9
+
+
+def to_gb_per_s(bytes_per_s: float) -> float:
+    """Convert bytes/s to decimal GB/s (for reporting)."""
+    return bytes_per_s / GB
+
+
+def to_gflop_per_s(flops_per_s: float) -> float:
+    """Convert flop/s to GFlop/s (for reporting)."""
+    return flops_per_s / 1e9
+
+
+def usec(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value) * 1e-6
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count (decimal units, matching GB/s reporting)."""
+    n = float(nbytes)
+    for unit in ("B", "kB", "MB", "GB", "TB"):
+        if abs(n) < 1000.0 or unit == "TB":
+            return f"{n:.3g} {unit}"
+        n /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable time with an appropriate SI prefix."""
+    s = float(seconds)
+    if s == 0:
+        return "0 s"
+    if abs(s) >= 1.0:
+        return f"{s:.3g} s"
+    if abs(s) >= 1e-3:
+        return f"{s * 1e3:.3g} ms"
+    if abs(s) >= 1e-6:
+        return f"{s * 1e6:.3g} us"
+    return f"{s * 1e9:.3g} ns"

@@ -1,0 +1,45 @@
+"""Shared fixtures: small matrices built once per test session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrices import build_samg_like, get_matrix, random_sparse
+
+
+@pytest.fixture(scope="session")
+def hmep_tiny():
+    """Tiny HMeP Hamiltonian (dim 540)."""
+    return get_matrix("HMeP", "tiny").build()
+
+
+@pytest.fixture(scope="session")
+def hmep_bad_tiny():
+    """Tiny HMEp (scattered ordering) Hamiltonian."""
+    return get_matrix("HMEp", "tiny").build()
+
+
+@pytest.fixture(scope="session")
+def hmep_small():
+    """Small HMeP Hamiltonian (dim 33 600) — large enough that the
+    communication-bound qualitative claims of the paper hold."""
+    return get_matrix("HMeP", "small").build_cached()
+
+
+@pytest.fixture(scope="session")
+def samg_tiny():
+    """Tiny sAMG-like FV Poisson matrix (~2k rows)."""
+    return get_matrix("sAMG", "tiny").build()
+
+
+@pytest.fixture(scope="session")
+def random_300():
+    """A 300x300 random sparse matrix with Nnzr ~ 9."""
+    return random_sparse(300, nnzr=9.0, seed=3)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)

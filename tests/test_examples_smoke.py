@@ -1,0 +1,28 @@
+"""Examples stay runnable: syntax-check all, execute the quick ones."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def test_all_examples_compile():
+    files = sorted(EXAMPLES.glob("*.py"))
+    assert len(files) >= 5
+    for f in files:
+        compile(f.read_text(), str(f), "exec")
+
+
+@pytest.mark.parametrize("script", ["exact_diagonalization.py"])
+def test_example_executes(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "ground-state energy" in result.stdout

@@ -1,0 +1,172 @@
+"""Experiment harnesses: smoke tests + the paper's qualitative assertions
+at reduced scale.  Full-scale reproduction numbers live in benchmarks/."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    KAPPA,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_kappa_table,
+    run_progress_probe,
+    run_scaling_study,
+)
+from repro.matrices import get_matrix
+
+
+# ----------------------------------------------------------------------
+# fig 1
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig1():
+    return run_fig1(scale="tiny", grid=24)
+
+
+def test_fig1_contains_all_matrices(fig1):
+    assert set(fig1.grids) == {"HMEp", "HMeP", "sAMG"}
+    assert "HMeP" in fig1.render()
+
+
+def test_fig1_ordering_contrast(fig1):
+    # Fig 1 a vs b: HMEp scatters, HMeP concentrates near the diagonal
+    assert fig1.stats["HMeP"]["band_fraction"] > fig1.stats["HMEp"]["band_fraction"]
+
+
+def test_fig1_samg_most_local(fig1):
+    assert fig1.stats["sAMG"]["band_fraction"] >= fig1.stats["HMeP"]["band_fraction"]
+
+
+# ----------------------------------------------------------------------
+# fig 2
+# ----------------------------------------------------------------------
+def test_fig2_topologies():
+    r = run_fig2()
+    assert r.westmere.n_domains == 2
+    assert r.magny_cours.n_domains == 4
+    text = r.render()
+    assert "Westmere" in text and "Magny Cours" in text
+
+
+# ----------------------------------------------------------------------
+# fig 3
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3()
+
+
+def test_fig3_reproduces_paper_annotations(fig3):
+    nehalem_ld = [r for r in fig3.by_machine("Nehalem EP") if r.unit == "LD"]
+    for row in nehalem_ld:
+        assert row.spmv_gflops == pytest.approx(row.paper_gflops, abs=0.02)
+
+
+def test_fig3_saturation_at_four_cores(fig3):
+    assert fig3.saturation_core_count("Westmere EP", threshold=0.93) <= 4
+    assert fig3.saturation_core_count("Nehalem EP", threshold=0.99) <= 4
+
+
+def test_fig3_amd_node_beats_westmere_by_quarter(fig3):
+    west = [r for r in fig3.by_machine("Westmere EP") if r.unit == "node"][0]
+    amd = [r for r in fig3.by_machine("Magny Cours") if r.unit == "node"][0]
+    assert amd.spmv_gflops / west.spmv_gflops == pytest.approx(1.25, abs=0.05)
+
+
+def test_fig3_render(fig3):
+    text = fig3.render()
+    assert "Nehalem" in text and "GFlop/s" in text
+
+
+# ----------------------------------------------------------------------
+# kappa table / eqs 1-2
+# ----------------------------------------------------------------------
+def test_kappa_table_matches_paper():
+    r = run_kappa_table()
+    assert r.kappa_measured == pytest.approx(2.5, abs=0.05)
+    assert r.max_performance_stream == pytest.approx(3.12, abs=0.02)
+    assert r.max_performance_kappa0 == pytest.approx(2.66, abs=0.02)
+    assert r.rhs_bytes_per_row == pytest.approx(37.3, abs=0.5)
+    assert 5.0 < r.rhs_loads < 6.5  # "loaded six times"
+    assert 0.05 < r.hmep_bad_performance_drop < 0.12  # "about 10%"
+    assert "κ" in r.render() or "kappa" in r.render().lower()
+
+
+# ----------------------------------------------------------------------
+# fig 4
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4(scale="small")
+
+
+def test_fig4_has_three_schemes(fig4):
+    assert set(fig4.charts) == {"no_overlap", "naive_overlap", "task_mode"}
+    text = fig4.render()
+    assert "Task mode" in text
+
+
+def test_fig4_only_task_mode_overlaps(fig4):
+    assert fig4.overlap_fraction["no_overlap"] < 0.05
+    assert fig4.overlap_fraction["naive_overlap"] < 0.05
+    assert fig4.overlap_fraction["task_mode"] > 0.9
+
+
+def test_fig4_task_mode_fastest(fig4):
+    assert fig4.makespans["task_mode"] <= min(
+        fig4.makespans["no_overlap"], fig4.makespans["naive_overlap"]
+    ) * 1.02
+
+
+# ----------------------------------------------------------------------
+# progress probe
+# ----------------------------------------------------------------------
+def test_progress_probe_three_regimes():
+    r = run_progress_probe()
+    assert r.no_async_progress < 0.05
+    assert r.async_progress > 0.95
+    assert r.task_mode_workaround > 0.95
+    assert "probe" in r.render()
+
+
+# ----------------------------------------------------------------------
+# scaling studies (tiny sweep: shape only)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def mini_study(hmep_small):
+    return run_scaling_study(
+        hmep_small,
+        "HMeP (small)",
+        KAPPA["HMeP"],
+        node_counts=(1, 2, 4, 8),
+        include_cray=False,
+        max_ranks=100,
+    )
+
+
+def test_study_series_complete(mini_study):
+    nodes, gf = mini_study.series("per-ld", "task_mode")
+    assert nodes == [1, 2, 4, 8]
+    assert all(g > 0 for g in gf)
+
+
+def test_study_per_core_capped(mini_study):
+    # max_ranks=100 skips per-core beyond 8 nodes (96 ranks OK at 8)
+    nodes, _ = mini_study.series("per-core", "task_mode")
+    assert max(nodes) <= 8
+
+
+def test_study_task_mode_wins_at_scale(mini_study):
+    task = mini_study.gflops_at("per-ld", "task_mode", 8)
+    novl = mini_study.gflops_at("per-ld", "no_overlap", 8)
+    naive = mini_study.gflops_at("per-ld", "naive_overlap", 8)
+    assert task > novl
+    assert naive <= novl * 1.05
+
+
+def test_study_render(mini_study):
+    text = mini_study.render()
+    assert "per ld" in text
+    assert "GFlop/s vs nodes" in text

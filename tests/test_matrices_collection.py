@@ -1,0 +1,76 @@
+"""Matrix registry and random generators."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    SCALES,
+    available_matrices,
+    get_matrix,
+    random_banded,
+    random_sparse,
+    random_symmetric,
+)
+from repro.sparse import bandwidth
+
+
+def test_registry_names_and_scales():
+    assert set(available_matrices()) == {"HMeP", "HMEp", "sAMG"}
+    assert SCALES == ("tiny", "small", "medium", "paper")
+    spec = get_matrix("HMeP", "tiny")
+    assert spec.name == "HMeP"
+    assert spec.scale == "tiny"
+    assert "Holstein-Hubbard" in spec.description
+
+
+def test_registry_rejects_unknown():
+    with pytest.raises(ValueError, match="name"):
+        get_matrix("nonsense")
+    with pytest.raises(ValueError, match="scale"):
+        get_matrix("HMeP", "galactic")
+
+
+def test_build_cached_returns_same_object():
+    a = get_matrix("HMeP", "tiny").build_cached()
+    b = get_matrix("HMeP", "tiny").build_cached()
+    assert a is b
+    fresh = get_matrix("HMeP", "tiny").build()
+    assert fresh is not a
+    assert np.array_equal(fresh.val, a.val)
+
+
+def test_scales_are_ordered_by_size():
+    tiny = get_matrix("HMeP", "tiny").build_cached()
+    small = get_matrix("HMeP", "small").build_cached()
+    assert small.nrows > tiny.nrows
+
+
+def test_paper_scale_dimensions_without_building():
+    from repro.matrices.collection import _HH_SCALE_PARAMS
+
+    assert _HH_SCALE_PARAMS["paper"].dim == 6_201_600
+
+
+def test_random_sparse_properties():
+    A = random_sparse(500, 300, nnzr=5, seed=0)
+    assert A.shape == (500, 300)
+    assert 4.0 < A.nnzr <= 5.0  # duplicates collapse
+    B = random_sparse(500, 300, nnzr=5, seed=0)
+    assert np.array_equal(A.col_idx, B.col_idx)  # deterministic
+    C = random_sparse(500, 300, nnzr=5, seed=1)
+    assert not np.array_equal(A.col_idx, C.col_idx)
+
+
+def test_random_sparse_ensure_diagonal():
+    A = random_sparse(50, nnzr=1, seed=0, ensure_diagonal=True)
+    assert np.all(A.diagonal() != 0)
+
+
+def test_random_banded_stays_in_band():
+    A = random_banded(400, halfwidth=10, nnzr=4, seed=2)
+    assert bandwidth(A) <= 10
+
+
+def test_random_symmetric_is_symmetric():
+    A = random_symmetric(80, nnzr=6, seed=3)
+    assert A.is_symmetric(tol=1e-12)

@@ -1,0 +1,96 @@
+"""Holstein-Hubbard Hamiltonian: structure, symmetry, ordering equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    HolsteinHubbardParams,
+    build_holstein_hubbard,
+    paper_params,
+    ring_bonds,
+)
+from repro.sparse import bandwidth
+
+
+@pytest.fixture(scope="module")
+def tiny_params():
+    return HolsteinHubbardParams(
+        n_sites=4, n_up=2, n_dn=2, n_phonon_modes=2, max_phonons=4
+    )
+
+
+def test_ring_bonds():
+    assert ring_bonds(4) == [(0, 1), (1, 2), (2, 3), (0, 3)]
+    assert ring_bonds(4, periodic=False) == [(0, 1), (1, 2), (2, 3)]
+
+
+def test_dimensions(tiny_params):
+    assert tiny_params.electron_dim == 36
+    assert tiny_params.phonon_dim == 15
+    assert tiny_params.dim == 540
+
+
+def test_paper_params_match_paper():
+    p = paper_params()
+    assert p.dim == 6_201_600
+    assert p.electron_dim == 400
+    assert p.phonon_dim == 15_504
+
+
+def test_hamiltonian_is_symmetric(tiny_params):
+    for ordering in ("HMeP", "HMEp"):
+        H = build_holstein_hubbard(tiny_params, ordering=ordering)
+        assert H.shape == (540, 540)
+        assert H.is_symmetric(tol=1e-13)
+
+
+def test_orderings_share_spectrum(hmep_tiny, hmep_bad_tiny):
+    w1 = np.sort(np.linalg.eigvalsh(hmep_tiny.to_dense()))
+    w2 = np.sort(np.linalg.eigvalsh(hmep_bad_tiny.to_dense()))
+    assert np.allclose(w1, w2, atol=1e-10)
+
+
+def test_hmep_ordering_is_more_banded(hmep_tiny, hmep_bad_tiny):
+    # the whole point of the two orderings (Fig. 1 a vs b)
+    assert bandwidth(hmep_tiny) < bandwidth(hmep_bad_tiny)
+
+
+def test_orderings_related_by_permutation(tiny_params):
+    good = build_holstein_hubbard(tiny_params, ordering="HMeP")
+    bad = build_holstein_hubbard(tiny_params, ordering="HMEp")
+    e_dim, p_dim = tiny_params.electron_dim, tiny_params.phonon_dim
+    # HMEp index = e * p_dim + p ; HMeP index = p * e_dim + e
+    perm = np.empty(e_dim * p_dim, dtype=np.int64)
+    for p in range(p_dim):
+        for e in range(e_dim):
+            perm[p * e_dim + e] = e * p_dim + p
+    assert np.allclose(bad.permute(perm).to_dense(), good.to_dense())
+
+
+def test_coupling_strength_scales(tiny_params):
+    from dataclasses import replace
+
+    h0 = build_holstein_hubbard(replace(tiny_params, coupling_g=0.0))
+    h1 = build_holstein_hubbard(replace(tiny_params, coupling_g=0.7))
+    # g = 0 removes the electron-phonon blocks entirely
+    assert h1.nnz > h0.nnz
+
+
+def test_invalid_ordering_rejected(tiny_params):
+    with pytest.raises(ValueError, match="ordering"):
+        build_holstein_hubbard(tiny_params, ordering="whatever")
+
+
+def test_too_many_phonon_modes_rejected():
+    with pytest.raises(ValueError, match="n_phonon_modes"):
+        HolsteinHubbardParams(n_sites=3, n_phonon_modes=4)
+
+
+def test_hubbard_u_appears_on_diagonal(tiny_params):
+    from dataclasses import replace
+
+    h_no_u = build_holstein_hubbard(replace(tiny_params, hubbard_u=0.0))
+    h_u = build_holstein_hubbard(replace(tiny_params, hubbard_u=5.0))
+    diff = h_u.to_dense() - h_no_u.to_dense()
+    assert np.allclose(diff, np.diag(np.diag(diff)))  # diagonal only
+    assert diff.max() > 0

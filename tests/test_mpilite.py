@@ -1,0 +1,220 @@
+"""mpilite runtime: router, point-to-point, collectives, SPMD launcher."""
+
+import numpy as np
+import pytest
+
+from repro.mpilite import PerRank, Router, run_spmd
+
+
+# ----------------------------------------------------------------------
+# router
+# ----------------------------------------------------------------------
+def test_router_fifo_per_channel():
+    r = Router(2)
+    r.put(0, 1, 0, "a")
+    r.put(0, 1, 0, "b")
+    assert r.get(1, 0, 0) == "a"
+    assert r.get(1, 0, 0) == "b"
+
+
+def test_router_copies_numpy_payload():
+    r = Router(2)
+    buf = np.ones(4)
+    r.put(0, 1, 0, buf)
+    buf[:] = -1  # sender reuse must not corrupt the message
+    got = r.get(1, 0, 0)
+    assert np.all(got == 1.0)
+
+
+def test_router_timeout():
+    r = Router(2)
+    with pytest.raises(TimeoutError):
+        r.get(1, 0, 0, timeout=0.05)
+
+
+def test_router_poll_and_stats():
+    r = Router(2)
+    assert not r.poll(1, 0, 0)
+    r.put(0, 1, 0, np.zeros(10))
+    assert r.poll(1, 0, 0)
+    assert r.stats["messages"] == 1
+    assert r.stats["bytes"] == 80
+
+
+def test_router_rank_validation():
+    r = Router(2)
+    with pytest.raises(ValueError):
+        r.put(0, 5, 0, "x")
+
+
+# ----------------------------------------------------------------------
+# SPMD launcher
+# ----------------------------------------------------------------------
+def test_run_spmd_collects_results():
+    def fn(comm):
+        return comm.rank * 10
+
+    assert run_spmd(4, fn) == [0, 10, 20, 30]
+
+
+def test_run_spmd_per_rank_args():
+    def fn(comm, mine, shared):
+        return (mine, shared)
+
+    out = run_spmd(3, fn, PerRank([5, 6, 7]), "all")
+    assert out == [(5, "all"), (6, "all"), (7, "all")]
+
+
+def test_run_spmd_propagates_exception():
+    def fn(comm):
+        if comm.rank == 1:
+            raise ValueError("boom")
+        return comm.rank
+
+    with pytest.raises(RuntimeError, match="rank 1"):
+        run_spmd(2, fn)
+
+
+def test_run_spmd_detects_deadlock():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.recv(1, timeout=0.2)  # nobody sends
+
+    with pytest.raises((TimeoutError, RuntimeError)):
+        run_spmd(2, fn, timeout=3.0)
+
+
+# ----------------------------------------------------------------------
+# point-to-point
+# ----------------------------------------------------------------------
+def test_ring_exchange():
+    def fn(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        comm.send(comm.rank, right)
+        return comm.recv(left)
+
+    out = run_spmd(5, fn)
+    assert out == [4, 0, 1, 2, 3]
+
+
+def test_buffer_send_recv():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.Send(np.arange(5.0), 1)
+            return None
+        buf = np.zeros(5)
+        comm.Recv(buf, 0)
+        return buf.tolist()
+
+    assert run_spmd(2, fn)[1] == [0, 1, 2, 3, 4]
+
+
+def test_recv_shape_mismatch_raises():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.Send(np.zeros(3), 1)
+        else:
+            buf = np.zeros(5)
+            comm.Recv(buf, 0)
+
+    with pytest.raises(RuntimeError, match="shape"):
+        run_spmd(2, fn)
+
+
+def test_irecv_isend_waitall():
+    def fn(comm):
+        peer = 1 - comm.rank
+        reqs = [comm.isend(np.full(3, float(comm.rank)), peer),
+                comm.irecv(peer)]
+        results = comm.waitall(reqs)
+        return float(results[1][0])
+
+    assert run_spmd(2, fn) == [1.0, 0.0]
+
+
+# ----------------------------------------------------------------------
+# collectives
+# ----------------------------------------------------------------------
+def test_barrier_reusable():
+    def fn(comm):
+        for _ in range(3):
+            comm.barrier()
+        return True
+
+    assert all(run_spmd(3, fn))
+
+
+def test_bcast():
+    def fn(comm):
+        return comm.bcast("payload" if comm.rank == 1 else None, root=1)
+
+    assert run_spmd(3, fn) == ["payload"] * 3
+
+
+def test_allreduce_sum_scalar_and_array():
+    def fn(comm):
+        total = comm.allreduce(comm.rank + 1)
+        arr = comm.allreduce(np.full(2, float(comm.rank)))
+        return total, arr.tolist()
+
+    out = run_spmd(4, fn)
+    assert all(t == 10 for t, _ in out)
+    assert all(a == [6.0, 6.0] for _, a in out)
+
+
+def test_allreduce_custom_op():
+    def fn(comm):
+        return comm.allreduce(comm.rank, op=max)
+
+    assert run_spmd(4, fn) == [3, 3, 3, 3]
+
+
+def test_allgather_order():
+    def fn(comm):
+        return comm.allgather(comm.rank**2)
+
+    assert run_spmd(4, fn) == [[0, 1, 4, 9]] * 4
+
+
+def test_gather_root_only():
+    def fn(comm):
+        return comm.gather(comm.rank, root=2)
+
+    out = run_spmd(3, fn)
+    assert out[0] is None and out[1] is None
+    assert out[2] == [0, 1, 2]
+
+
+def test_scatter():
+    def fn(comm):
+        return comm.scatter([10, 20, 30] if comm.rank == 0 else None, root=0)
+
+    assert run_spmd(3, fn) == [10, 20, 30]
+
+
+def test_alltoallv():
+    def fn(comm):
+        # everyone sends its rank id to every *other* rank
+        chunks = {
+            q: np.full(2, float(comm.rank)) for q in range(comm.size) if q != comm.rank
+        }
+        got = comm.alltoallv(chunks)
+        return sorted((src, float(arr[0])) for src, arr in got.items())
+
+    out = run_spmd(3, fn)
+    assert out[0] == [(1, 1.0), (2, 2.0)]
+    assert out[1] == [(0, 0.0), (2, 2.0)]
+
+
+def test_collectives_mixed_sequence():
+    # successive different collectives must not cross-talk (generation ids)
+    def fn(comm):
+        a = comm.allreduce(1)
+        comm.barrier()
+        b = comm.allgather(comm.rank)
+        c = comm.bcast("x" if comm.rank == 0 else None)
+        return (a, b, c)
+
+    out = run_spmd(3, fn)
+    assert out == [(3, [0, 1, 2], "x")] * 3

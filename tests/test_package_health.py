@@ -1,0 +1,53 @@
+"""Package-level health: imports, public API surface, docstrings."""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def _walk():
+    for mod in pkgutil.walk_packages(repro.__path__, "repro."):
+        yield importlib.import_module(mod.name)
+
+
+def test_every_module_imports():
+    mods = list(_walk())
+    assert len(mods) >= 50
+
+
+def test_every_module_has_docstring():
+    for mod in _walk():
+        if mod.__name__.endswith("__main__"):
+            continue
+        assert mod.__doc__ and mod.__doc__.strip(), f"{mod.__name__} lacks a docstring"
+
+
+def test_all_exports_resolve():
+    for mod in _walk():
+        exported = getattr(mod, "__all__", None)
+        if exported is None:
+            continue
+        for name in exported:
+            assert hasattr(mod, name), f"{mod.__name__}.__all__ lists missing {name!r}"
+
+
+def test_public_functions_have_docstrings():
+    import inspect
+
+    missing = []
+    for mod in _walk():
+        if mod.__name__.endswith("__main__"):
+            continue
+        for name in getattr(mod, "__all__", []):
+            obj = getattr(mod, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if obj.__module__ != mod.__name__:
+                    continue  # re-export; documented at its home
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    missing.append(f"{mod.__name__}.{name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,124 @@
+"""Jacobi-Davidson eigensolver and the symmetric-CSR extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_halo_plan, scatter_vector
+from repro.mpilite import PerRank, run_spmd
+from repro.solvers import DistributedOperator, SerialOperator, jacobi_davidson, lanczos
+from repro.sparse import (
+    CSRMatrix,
+    SymmetricCSR,
+    partition_matrix,
+    spmv_symmetric,
+    symmetric_code_balance,
+)
+from repro.model import code_balance
+
+
+# ----------------------------------------------------------------------
+# Jacobi-Davidson
+# ----------------------------------------------------------------------
+def test_jd_finds_ground_state(hmep_tiny):
+    op = SerialOperator(hmep_tiny)
+    res = jacobi_davidson(op, max_iter=80, tol=1e-8)
+    dense_min = float(np.linalg.eigvalsh(hmep_tiny.to_dense())[0])
+    assert res.converged
+    assert res.eigenvalue == pytest.approx(dense_min, abs=1e-7)
+    # eigenvector residual
+    r = hmep_tiny @ res.eigenvector - res.eigenvalue * res.eigenvector
+    assert np.linalg.norm(r) <= 1e-7
+
+
+def test_jd_agrees_with_lanczos(samg_tiny):
+    op = SerialOperator(samg_tiny)
+    jd = jacobi_davidson(op, max_iter=100, tol=1e-8)
+    lz = lanczos(op, max_iter=300, tol=1e-9)
+    assert jd.eigenvalue == pytest.approx(lz.ground_energy, abs=1e-6)
+
+
+def test_jd_restart_path():
+    # small subspace forces restarts; convergence must survive them
+    rng = np.random.default_rng(0)
+    d = rng.standard_normal((80, 80))
+    A = CSRMatrix.from_dense((d + d.T) / 2 + np.diag(np.arange(80.0)))
+    res = jacobi_davidson(SerialOperator(A), max_iter=120, tol=1e-8, max_subspace=6)
+    dense_min = float(np.linalg.eigvalsh(A.to_dense())[0])
+    assert res.converged
+    assert res.eigenvalue == pytest.approx(dense_min, abs=1e-6)
+
+
+def test_jd_residual_history_monotone_overall(hmep_tiny):
+    res = jacobi_davidson(SerialOperator(hmep_tiny), max_iter=80, tol=1e-8)
+    # not strictly monotone, but the tail must be far below the head
+    assert res.residual_history[-1] < res.residual_history[0] * 1e-3
+
+
+def test_jd_validates_inputs(hmep_tiny):
+    op = SerialOperator(hmep_tiny)
+    with pytest.raises(ValueError, match="max_subspace"):
+        jacobi_davidson(op, max_subspace=2)
+    with pytest.raises(ValueError, match="nonzero"):
+        jacobi_davidson(op, v0=np.zeros(hmep_tiny.nrows))
+
+
+def test_jd_distributed(hmep_tiny):
+    partition = partition_matrix(hmep_tiny, 3)
+    plan = build_halo_plan(hmep_tiny, partition, with_matrices=True)
+    rng = np.random.default_rng(4)
+    v0 = rng.standard_normal(hmep_tiny.nrows)
+
+    def fn(comm, halo):
+        op = DistributedOperator(comm, halo)
+        return jacobi_davidson(
+            op, max_iter=80, tol=1e-7, v0=scatter_vector(v0, partition, comm.rank)
+        ).eigenvalue
+
+    energies = run_spmd(3, fn, PerRank(plan.ranks))
+    serial = jacobi_davidson(SerialOperator(hmep_tiny), max_iter=80, tol=1e-7, v0=v0)
+    assert np.allclose(energies, serial.eigenvalue, atol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# symmetric CSR
+# ----------------------------------------------------------------------
+def test_symmetric_storage_halves_memory(hmep_tiny):
+    sym = SymmetricCSR.from_csr(hmep_tiny)
+    assert sym.memory_bytes() < 0.65 * hmep_tiny.memory_bytes()
+    assert sym.nnz_full == hmep_tiny.nnz
+
+
+def test_symmetric_spmv_matches_full(hmep_tiny, rng):
+    sym = SymmetricCSR.from_csr(hmep_tiny)
+    x = rng.standard_normal(hmep_tiny.nrows)
+    assert np.allclose(spmv_symmetric(sym, x), hmep_tiny @ x, atol=1e-11)
+    assert np.allclose(sym.matvec(x), hmep_tiny @ x, atol=1e-11)
+
+
+def test_symmetric_roundtrip(samg_tiny):
+    sym = SymmetricCSR.from_csr(samg_tiny, tol=1e-9)
+    back = sym.to_full()
+    assert np.allclose(back.to_dense(), samg_tiny.to_dense(), atol=1e-12)
+
+
+def test_symmetric_rejects_asymmetric():
+    A = CSRMatrix.from_dense(np.array([[1.0, 2.0], [3.0, 4.0]]))
+    with pytest.raises(ValueError, match="not symmetric"):
+        SymmetricCSR.from_csr(A)
+    with pytest.raises(ValueError, match="square"):
+        SymmetricCSR.from_csr(CSRMatrix.from_dense(np.ones((2, 3))))
+
+
+def test_symmetric_spmv_validates_shape(hmep_tiny):
+    sym = SymmetricCSR.from_csr(hmep_tiny)
+    with pytest.raises(ValueError, match="shape"):
+        spmv_symmetric(sym, np.zeros(3))
+
+
+def test_symmetric_code_balance_nearly_halved():
+    # paper Sect. 1.3.1: "reduced by almost a factor of two"
+    full = code_balance(15.0)
+    sym = symmetric_code_balance(15.0)
+    assert 0.5 < sym / full < 0.7
+    # kappa contributes only half (charged per stored entry)
+    assert symmetric_code_balance(15.0, 2.5) - sym == pytest.approx(2.5 / 4.0)

@@ -1,0 +1,191 @@
+"""Chebyshev propagation, KPM spectral density, and the AMG hierarchy."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.matrices import build_samg_like, poisson_2d
+from repro.solvers import (
+    ChebyshevPropagator,
+    SerialOperator,
+    build_amg,
+    cf_splitting,
+    chebyshev_moments,
+    conjugate_gradient,
+    direct_interpolation,
+    jackson_kernel,
+    kpm_spectrum,
+    spectral_bounds,
+    strength_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def ham_op(hmep_tiny):
+    return SerialOperator(hmep_tiny)
+
+
+@pytest.fixture(scope="module")
+def ham_bounds(ham_op):
+    return spectral_bounds(ham_op)
+
+
+# ----------------------------------------------------------------------
+# Chebyshev time evolution
+# ----------------------------------------------------------------------
+def test_chebyshev_matches_dense_expm(hmep_tiny, ham_op, ham_bounds):
+    psi0 = np.zeros(hmep_tiny.nrows, dtype=complex)
+    psi0[3] = 1.0
+    prop = ChebyshevPropagator(ham_op, ham_bounds)
+    psi = prop.step(psi0, 0.7)
+    ref = expm(-1j * hmep_tiny.to_dense() * 0.7) @ psi0
+    assert np.abs(psi - ref).max() < 1e-10
+
+
+def test_chebyshev_unitarity(ham_op, ham_bounds, rng):
+    psi0 = rng.standard_normal(540) + 1j * rng.standard_normal(540)
+    psi0 /= np.linalg.norm(psi0)
+    prop = ChebyshevPropagator(ham_op, ham_bounds)
+    for t in (0.1, 1.0, 3.0):
+        psi = prop.step(psi0, t)
+        assert np.linalg.norm(psi) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_chebyshev_order_grows_with_time(ham_op, ham_bounds):
+    prop = ChebyshevPropagator(ham_op, ham_bounds)
+    assert prop.expansion_order(2.0) > prop.expansion_order(0.2)
+
+
+def test_chebyshev_evolution_composes(ham_op, ham_bounds, rng):
+    # two half steps equal one full step (up to truncation error)
+    psi0 = rng.standard_normal(540) + 0j
+    psi0 /= np.linalg.norm(psi0)
+    prop = ChebyshevPropagator(ham_op, ham_bounds)
+    one = prop.step(psi0, 1.0)
+    two = prop.step(prop.step(psi0, 0.5), 0.5)
+    assert np.abs(one - two).max() < 1e-9
+
+
+def test_chebyshev_invalid_bounds(ham_op):
+    with pytest.raises(ValueError, match="bounds"):
+        ChebyshevPropagator(ham_op, (2.0, 1.0))
+
+
+# ----------------------------------------------------------------------
+# KPM
+# ----------------------------------------------------------------------
+def test_jackson_kernel_shape():
+    g = jackson_kernel(64)
+    assert g[0] == pytest.approx(1.0, abs=1e-6)
+    assert np.all(np.diff(g) < 0)  # strictly decreasing
+    assert g[-1] < 0.01
+
+
+def test_moments_mu0_is_one(ham_op, ham_bounds):
+    mu = chebyshev_moments(ham_op, ham_bounds, n_moments=16, n_random=4)
+    assert mu[0] == pytest.approx(1.0)
+    assert np.all(np.abs(mu) <= 1.0 + 1e-9)  # Chebyshev moments are bounded
+
+
+def test_kpm_density_normalised_and_positive(ham_op, ham_bounds):
+    spec = kpm_spectrum(ham_op, ham_bounds, n_moments=96, n_random=6).normalized()
+    integral = np.trapezoid(spec.density, spec.energies)
+    assert integral == pytest.approx(1.0, abs=1e-6)
+    assert spec.density.min() > -0.02  # Jackson kernel keeps it ~positive
+
+
+def test_kpm_matches_histogram_of_dense_spectrum(hmep_tiny, ham_op, ham_bounds):
+    spec = kpm_spectrum(ham_op, ham_bounds, n_moments=128, n_random=8).normalized()
+    w = np.linalg.eigvalsh(hmep_tiny.to_dense())
+    # cumulative distributions must agree within a few percent
+    grid = np.linspace(w[0], w[-1], 12)[1:-1]
+    cdf_kpm = [np.trapezoid(spec.density[spec.energies <= e],
+                            spec.energies[spec.energies <= e]) for e in grid]
+    cdf_ref = [(w <= e).mean() for e in grid]
+    assert np.abs(np.array(cdf_kpm) - np.array(cdf_ref)).max() < 0.06
+
+
+# ----------------------------------------------------------------------
+# AMG
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fv_matrix():
+    return build_samg_like(2500, seed=3)
+
+
+def test_strength_graph_structure(fv_matrix):
+    S = strength_graph(fv_matrix, theta=0.25)
+    assert S.nrows == fv_matrix.nrows
+    # no self loops
+    rows = np.repeat(np.arange(S.nrows), S.row_nnz())
+    assert not np.any(rows == S.col_idx)
+
+
+def test_cf_splitting_covers_strong_points(fv_matrix):
+    S = strength_graph(fv_matrix)
+    coarse = cf_splitting(S)
+    assert 0 < coarse.sum() < fv_matrix.nrows
+    # every fine point with strong connections has a coarse strong neighbour
+    fine = np.flatnonzero(~coarse)
+    violations = 0
+    for i in fine:
+        neigh = S.col_idx[S.row_ptr[i] : S.row_ptr[i + 1]]
+        if neigh.size and not coarse[neigh].any():
+            violations += 1
+    assert violations / max(1, fine.size) < 0.02
+
+
+def test_interpolation_preserves_constants(fv_matrix):
+    # direct interpolation of the constant vector must stay ~constant on
+    # fine points with usable coarse neighbours (M-matrix property)
+    S = strength_graph(fv_matrix)
+    coarse = cf_splitting(S)
+    P = direct_interpolation(fv_matrix, S, coarse)
+    ones_c = np.ones(P.ncols)
+    interp = P @ ones_c
+    covered = interp > 0
+    assert np.abs(interp[covered] - 1.0).max() < 0.6
+
+
+def test_amg_vcycle_converges(fv_matrix, rng):
+    hier = build_amg(fv_matrix)
+    assert hier.n_levels >= 3
+    assert hier.operator_complexity() < 3.0
+    b = fv_matrix @ rng.standard_normal(fv_matrix.nrows)
+    x, cycles, rel = hier.solve(b, tol=1e-8, max_cycles=80)
+    assert rel <= 1e-8
+    assert cycles < 80
+
+
+def test_amg_preconditioned_cg_faster(fv_matrix, rng):
+    b = fv_matrix @ rng.standard_normal(fv_matrix.nrows)
+    op = SerialOperator(fv_matrix)
+    plain = conjugate_gradient(op, b, tol=1e-8, max_iter=3000)
+    hier = build_amg(fv_matrix)
+    pcg = conjugate_gradient(op, b, tol=1e-8, max_iter=3000,
+                             preconditioner=hier.as_preconditioner())
+    assert pcg.converged
+    assert pcg.iterations < plain.iterations / 2
+
+
+def test_amg_on_structured_poisson(rng):
+    A = poisson_2d(24)
+    hier = build_amg(A)
+    b = A @ rng.standard_normal(A.nrows)
+    _x, cycles, rel = hier.solve(b, tol=1e-8)
+    assert rel <= 1e-8
+
+
+def test_amg_tiny_matrix_single_level():
+    A = poisson_2d(4)  # 16 rows < coarse_size
+    hier = build_amg(A, coarse_size=60)
+    b = np.ones(A.nrows)
+    x, _cycles, rel = hier.solve(b, tol=1e-10)
+    assert rel <= 1e-10
+
+
+def test_amg_requires_square():
+    from repro.sparse import CSRMatrix
+
+    with pytest.raises(ValueError, match="square"):
+        build_amg(CSRMatrix.from_dense(np.ones((3, 4))))

@@ -1,0 +1,79 @@
+"""COO container: construction, duplicate handling, conversions."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+def test_empty_matrix():
+    m = COOMatrix.empty(5, 7)
+    assert m.shape == (5, 7)
+    assert m.nnz == 0
+    assert m.to_csr().nnz == 0
+    assert m.to_dense().shape == (5, 7)
+
+
+def test_from_dense_roundtrip(rng):
+    d = (rng.random((20, 15)) < 0.2) * rng.standard_normal((20, 15))
+    m = COOMatrix.from_dense(d)
+    assert np.allclose(m.to_dense(), d)
+    assert m.nnz == np.count_nonzero(d)
+
+
+def test_from_dense_tolerance():
+    d = np.array([[0.5, 1e-12], [0.0, -2.0]])
+    m = COOMatrix.from_dense(d, tol=1e-9)
+    assert m.nnz == 2
+
+
+def test_duplicates_are_summed():
+    m = COOMatrix(3, 3, [0, 0, 1], [1, 1, 2], [2.0, 3.0, 1.0])
+    clean = m.sum_duplicates()
+    assert clean.nnz == 2
+    dense = clean.to_dense()
+    assert dense[0, 1] == 5.0
+    assert dense[1, 2] == 1.0
+
+
+def test_duplicates_summed_in_csr_conversion():
+    m = COOMatrix(2, 2, [0, 0, 0], [0, 0, 1], [1.0, 1.0, 1.0])
+    csr = m.to_csr()
+    assert csr.nnz == 2
+    assert csr.to_dense()[0, 0] == 2.0
+
+
+def test_transpose():
+    m = COOMatrix(2, 3, [0, 1], [2, 0], [5.0, -1.0])
+    t = m.transpose()
+    assert t.shape == (3, 2)
+    assert np.allclose(t.to_dense(), m.to_dense().T)
+
+
+def test_drop_zeros():
+    m = COOMatrix(2, 2, [0, 1], [0, 1], [0.0, 3.0])
+    assert m.drop_zeros().nnz == 1
+
+
+def test_out_of_range_indices_rejected():
+    with pytest.raises(ValueError, match="row indices"):
+        COOMatrix(2, 2, [2], [0], [1.0])
+    with pytest.raises(ValueError, match="col indices"):
+        COOMatrix(2, 2, [0], [5], [1.0])
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError, match="same length"):
+        COOMatrix(2, 2, [0, 1], [0], [1.0])
+
+
+def test_csr_sorted_columns(rng):
+    # heavily shuffled triplets must produce canonical CSR
+    n = 30
+    rows = rng.integers(0, n, 200)
+    cols = rng.integers(0, n, 200)
+    vals = rng.standard_normal(200)
+    csr = COOMatrix(n, n, rows, cols, vals).to_csr()
+    for i in range(n):
+        lo, hi = csr.row_ptr[i], csr.row_ptr[i + 1]
+        assert np.all(np.diff(csr.col_idx[lo:hi]) > 0)

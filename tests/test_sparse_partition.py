@@ -1,0 +1,83 @@
+"""Row partitioners: coverage, balance, ownership queries."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import random_sparse
+from repro.sparse import (
+    RowPartition,
+    partition_matrix,
+    partition_nnz_balanced,
+    partition_rows_balanced,
+)
+
+
+def test_rows_balanced_sizes():
+    p = partition_rows_balanced(10, 3)
+    assert p.sizes().tolist() == [4, 3, 3]
+    assert p.nrows == 10
+    assert p.nparts == 3
+
+
+def test_rows_balanced_more_parts_than_rows():
+    p = partition_rows_balanced(2, 5)
+    assert p.sizes().sum() == 2
+    assert p.nparts == 5  # some parts empty
+
+
+def test_nnz_balanced_beats_rows_on_skewed_matrix(rng):
+    # first rows dense, rest sparse: nnz balancing must move the boundary
+    import numpy as np
+
+    from repro.sparse.coo import COOMatrix
+
+    rows = np.concatenate([np.repeat(np.arange(10), 30), np.arange(10, 100)])
+    cols = np.concatenate([np.tile(np.arange(30), 10), np.zeros(90, dtype=int)])
+    m = COOMatrix(100, 100, rows, cols, np.ones(rows.size)).to_csr()
+    p_rows = partition_rows_balanced(100, 4)
+    p_nnz = partition_nnz_balanced(m, 4)
+    imb_rows = p_rows.imbalance(p_rows.nnz_per_part(m))
+    imb_nnz = p_nnz.imbalance(p_nnz.nnz_per_part(m))
+    assert imb_nnz < imb_rows
+    assert imb_nnz < 1.5
+
+
+def test_nnz_balanced_covers_all_rows():
+    A = random_sparse(500, nnzr=5, seed=2)
+    for nparts in (1, 3, 7, 16):
+        p = partition_nnz_balanced(A, nparts)
+        assert p.nrows == 500
+        assert p.nparts == nparts
+        assert int(p.nnz_per_part(A).sum()) == A.nnz
+
+
+def test_owner_of_and_local_index():
+    p = RowPartition(np.array([0, 4, 9, 12]))
+    rows = np.array([0, 3, 4, 8, 11])
+    assert p.owner_of(rows).tolist() == [0, 0, 1, 1, 2]
+    assert p.local_index(rows).tolist() == [0, 3, 0, 4, 2]
+    with pytest.raises(ValueError, match="out of range"):
+        p.owner_of(np.array([12]))
+
+
+def test_bounds_and_size():
+    p = RowPartition(np.array([0, 4, 9]))
+    assert p.bounds(0) == (0, 4)
+    assert p.bounds(1) == (4, 9)
+    assert p.size(1) == 5
+    with pytest.raises(IndexError):
+        p.bounds(2)
+
+
+def test_partition_matrix_strategies(random_300):
+    nnz = partition_matrix(random_300, 5, strategy="nnz")
+    rows = partition_matrix(random_300, 5, strategy="rows")
+    assert nnz.nparts == rows.nparts == 5
+    with pytest.raises(ValueError, match="strategy"):
+        partition_matrix(random_300, 5, strategy="metis")
+
+
+def test_imbalance_metric():
+    p = RowPartition(np.array([0, 2, 4]))
+    assert p.imbalance(np.array([10.0, 10.0])) == pytest.approx(1.0)
+    assert p.imbalance(np.array([30.0, 10.0])) == pytest.approx(1.5)

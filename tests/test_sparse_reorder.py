@@ -1,0 +1,87 @@
+"""(R)CM reordering: permutation validity, bandwidth reduction, spectra."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import poisson_2d, random_sparse
+from repro.sparse import (
+    bandwidth,
+    bfs_levels,
+    cuthill_mckee,
+    pseudo_peripheral_node,
+    reverse_cuthill_mckee,
+)
+from repro.sparse.csr import CSRMatrix
+
+
+def test_cm_is_permutation():
+    A = random_sparse(60, nnzr=4, seed=1, ensure_diagonal=True)
+    perm = cuthill_mckee(A)
+    assert sorted(perm.tolist()) == list(range(60))
+    rcm = reverse_cuthill_mckee(A)
+    assert sorted(rcm.tolist()) == list(range(60))
+    assert rcm.tolist() == perm[::-1].tolist()
+
+
+def test_rcm_reduces_bandwidth_of_shuffled_grid(rng):
+    A = poisson_2d(12)
+    shuffle = rng.permutation(A.nrows)
+    shuffled = A.permute(shuffle)
+    assert bandwidth(shuffled) > bandwidth(A)
+    rcm = reverse_cuthill_mckee(shuffled)
+    restored = shuffled.permute(rcm)
+    # RCM must bring the bandwidth close to the natural grid ordering
+    assert bandwidth(restored) <= 3 * bandwidth(A)
+    assert bandwidth(restored) < bandwidth(shuffled) / 3
+
+
+def test_permutation_preserves_spectrum(rng):
+    d = rng.standard_normal((15, 15))
+    d = d + d.T
+    A = CSRMatrix.from_dense(d)
+    rcm = reverse_cuthill_mckee(A)
+    w0 = np.sort(np.linalg.eigvalsh(d))
+    w1 = np.sort(np.linalg.eigvalsh(A.permute(rcm).to_dense()))
+    assert np.allclose(w0, w1)
+
+
+def test_bfs_levels_on_path():
+    # path graph 0-1-2-3
+    d = np.zeros((4, 4))
+    for i in range(3):
+        d[i, i + 1] = d[i + 1, i] = 1.0
+    A = CSRMatrix.from_dense(d)
+    levels = bfs_levels(A, 0)
+    assert levels.tolist() == [0, 1, 2, 3]
+
+
+def test_bfs_unreachable_marked():
+    d = np.zeros((4, 4))
+    d[0, 1] = d[1, 0] = 1.0  # component {0,1}; {2},{3} isolated
+    A = CSRMatrix.from_dense(d)
+    levels = bfs_levels(A, 0)
+    assert levels[2] == -1 and levels[3] == -1
+
+
+def test_pseudo_peripheral_on_path():
+    d = np.zeros((5, 5))
+    for i in range(4):
+        d[i, i + 1] = d[i + 1, i] = 1.0
+    A = CSRMatrix.from_dense(d)
+    node = pseudo_peripheral_node(A, start=2)
+    assert node in (0, 4)  # ends of the path
+
+
+def test_disconnected_components_all_visited():
+    d = np.zeros((6, 6))
+    d[0, 1] = d[1, 0] = 1.0
+    d[3, 4] = d[4, 3] = 1.0
+    A = CSRMatrix.from_dense(d + np.eye(6))
+    perm = cuthill_mckee(A)
+    assert sorted(perm.tolist()) == list(range(6))
+
+
+def test_reordering_requires_square():
+    A = CSRMatrix.from_dense(np.ones((2, 3)))
+    with pytest.raises(ValueError, match="square"):
+        cuthill_mckee(A)
