@@ -40,6 +40,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         ("fig2", "node topologies (Westmere, Magny Cours)"),
         ("fig3", "node-level performance analysis (both panels)"),
         ("fig4", "scheme timelines (simulator Gantt charts)"),
+        ("trace", "trace one simulated sweep (summary, metrics, Chrome JSON)"),
         ("fig5", "HMeP strong scaling on the Westmere cluster"),
         ("fig6", "sAMG strong scaling on the Westmere cluster"),
         ("kappa", "Sect. 2 κ determination + Eq. 2 split penalty"),
@@ -79,6 +80,49 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     from repro.experiments import run_fig4
 
     print(run_fig4(scale=args.scale).render())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one simulated MVM sweep and export/summarize it."""
+    from repro.core import simulate_spmvm
+    from repro.machine.presets import westmere_cluster
+    from repro.matrices import get_matrix
+    from repro.obs import (
+        overlap_bytes_with_phase,
+        phase_summary,
+        simulation_metrics,
+        write_chrome_trace,
+    )
+
+    A = get_matrix(args.matrix, args.scale).build_cached()
+    r = simulate_spmvm(
+        A,
+        westmere_cluster(args.nodes),
+        mode=args.mode,
+        scheme=args.scheme,
+        kappa=args.kappa,
+        iterations=args.iterations,
+        eager_threshold=args.eager_threshold,
+        async_progress=args.async_progress,
+        trace=True,
+    )
+    assert r.trace is not None
+    print(r.describe())
+    print()
+    print(phase_summary(r.trace, title=f"per-phase summary ({args.scheme})").render())
+    overlap_bytes = overlap_bytes_with_phase(r.trace, "local spMVM")
+    print(
+        f"\nrendezvous bytes moved during the endpoints' local spMVM: "
+        f"{overlap_bytes:.0f} B"
+    )
+    if args.metrics:
+        print()
+        for name, value in sorted(simulation_metrics(r).items()):
+            print(f"  {name} = {value:g}")
+    if args.trace_json:
+        path = write_chrome_trace(r.trace, args.trace_json)
+        print(f"\nChrome trace written to {path} (open in chrome://tracing)")
     return 0
 
 
@@ -180,6 +224,20 @@ def build_parser() -> argparse.ArgumentParser:
     add("fig3", _cmd_fig3)
     p4 = add("fig4", _cmd_fig4)
     p4.add_argument("--scale", default="small")
+    pt = add("trace", _cmd_trace)
+    pt.add_argument("scheme", choices=("no_overlap", "naive_overlap", "task_mode"))
+    pt.add_argument("--matrix", default="HMeP", choices=("HMeP", "HMEp", "sAMG"))
+    pt.add_argument("--scale", default="small")
+    pt.add_argument("--nodes", type=int, default=2)
+    pt.add_argument("--mode", default="per-ld")
+    pt.add_argument("--kappa", type=float, default=2.5)
+    pt.add_argument("--iterations", type=int, default=1)
+    pt.add_argument("--eager-threshold", type=int, default=1024)
+    pt.add_argument("--async-progress", action="store_true",
+                    help="model an MPI library with working progress threads")
+    pt.add_argument("--metrics", action="store_true", help="print the flat metrics dict")
+    pt.add_argument("--trace-json", metavar="PATH", default=None,
+                    help="write Chrome trace_event JSON to PATH")
     for name, fn in (("fig5", _cmd_fig5), ("fig6", _cmd_fig6), ("all", _cmd_all)):
         p = add(name, fn)
         p.add_argument("--scale", default="small",

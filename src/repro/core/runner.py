@@ -20,7 +20,7 @@ from repro.core.costs import phase_costs
 from repro.core.halo import HaloPlan, build_halo_plan
 from repro.core.schemes import SIM_SCHEMES, RankContext, rank_process
 from repro.frame.core import Simulator
-from repro.frame.resources import FlowNetwork
+from repro.frame.resources import FlowNetwork, ResourceStats
 from repro.frame.trace import TraceRecorder
 from repro.machine.affinity import plan_placement, ranks_for_mode
 from repro.machine.topology import ClusterSpec
@@ -47,6 +47,7 @@ class SimulationResult:
     messages_per_mvm: float
     bytes_transferred: float = 0.0  # actually moved through the simulated MPI
     trace: TraceRecorder | None = None
+    resource_stats: dict[object, ResourceStats] | None = None
 
     @property
     def seconds_per_mvm(self) -> float:
@@ -111,14 +112,15 @@ def simulate_from_plan(
     resources = dict(cluster.network.resources(cluster.n_nodes))
     resources.update(_build_membus_resources(cluster))
     net = FlowNetwork(sim, resources)
+    recorder = TraceRecorder() if trace else None
     mpi = SimMPI(
         sim,
         net,
         cluster.network,
         rank_node=[p.node for p in placements],
         config=MPIConfig(eager_threshold=eager_threshold, async_progress=async_progress),
+        trace=recorder,
     )
-    recorder = TraceRecorder() if trace else None
     contexts = []
     for placement, halo in zip(placements, plan.ranks):
         ctx = RankContext(
@@ -146,6 +148,7 @@ def simulate_from_plan(
         messages_per_mvm=plan.total_messages(),
         bytes_transferred=mpi.bytes_transferred,
         trace=recorder,
+        resource_stats=net.resource_stats(),
     )
 
 

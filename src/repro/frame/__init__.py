@@ -2,8 +2,8 @@
 
 from repro.frame.core import Process, Simulator
 from repro.frame.events import SimEvent, all_of, any_of
-from repro.frame.resources import Flow, FlowNetwork
-from repro.frame.trace import Interval, TraceRecorder
+from repro.frame.resources import Flow, FlowNetwork, ResourceStats
+from repro.frame.trace import Interval, TraceEvent, TraceRecorder
 
 __all__ = [
     "Simulator",
@@ -13,6 +13,8 @@ __all__ = [
     "any_of",
     "Flow",
     "FlowNetwork",
+    "ResourceStats",
     "Interval",
+    "TraceEvent",
     "TraceRecorder",
 ]

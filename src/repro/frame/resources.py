@@ -31,6 +31,7 @@ converge in a handful of rounds.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Hashable
 
 import numpy as np
@@ -38,10 +39,32 @@ import numpy as np
 from repro.frame.core import Simulator
 from repro.frame.events import SimEvent
 
-__all__ = ["Flow", "FlowNetwork"]
+__all__ = ["Flow", "FlowNetwork", "ResourceStats"]
 
 ResourceKey = Hashable
 _EPS_BYTES = 1e-6
+
+
+@dataclass(frozen=True)
+class ResourceStats:
+    """Aggregated utilization of one resource over a simulation run.
+
+    ``busy_seconds`` is the total simulated time during which at least
+    one unpaused flow was drawing capacity from the resource;
+    ``bytes_moved`` is the demand-weighted byte volume that crossed it
+    (a 3-hop torus message counts 3x its payload on the link pool);
+    ``max_concurrent_flows`` is the contention high-water mark and
+    ``flows_started`` counts every flow that ever demanded the resource.
+    """
+
+    busy_seconds: float
+    bytes_moved: float
+    max_concurrent_flows: int
+    flows_started: int
+
+    def busy_fraction(self, total_seconds: float) -> float:
+        """Fraction of *total_seconds* the resource was busy (0 if idle run)."""
+        return self.busy_seconds / total_seconds if total_seconds > 0 else 0.0
 
 
 class Flow:
@@ -122,6 +145,12 @@ class FlowNetwork:
         self._last_update = sim.now
         self._epoch = 0
         self._recalc_pending_at: float | None = None
+        # per-resource utilization accounting
+        nres = len(self._res_keys)
+        self._res_busy = np.zeros(nres)
+        self._res_bytes = np.zeros(nres)
+        self._res_hwm = np.zeros(nres, dtype=np.int64)
+        self._res_flows = np.zeros(nres, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # public API
@@ -133,6 +162,10 @@ class FlowNetwork:
         self._res_index[key] = len(self._res_keys)
         self._res_keys.append(key)
         self._cap_fns.append(fn)
+        self._res_busy = np.append(self._res_busy, 0.0)
+        self._res_bytes = np.append(self._res_bytes, 0.0)
+        self._res_hwm = np.append(self._res_hwm, 0)
+        self._res_flows = np.append(self._res_flows, 0)
 
     def capacity_of(self, key: ResourceKey, weight: float = 1.0) -> float:
         """Capacity of one resource at the given active weight (bytes/s)."""
@@ -161,6 +194,8 @@ class FlowNetwork:
         if weight <= 0:
             raise ValueError(f"flow weight must be positive, got {weight}")
         res_ids = [self._res_index[k] for k in demands]  # KeyError for unknown keys
+        for rid in res_ids:
+            self._res_flows[rid] += 1
         slot = self._n_slots
         self._ensure_slot_capacity(slot + 1)
         flow = Flow(self, slot, size, label)
@@ -205,6 +240,23 @@ class FlowNetwork:
     def active_flows(self) -> list[Flow]:
         """Snapshot of currently active flows (diagnostics)."""
         return [f for f in self._flows[: self._n_slots] if f is not None and self._alive[f.slot]]
+
+    def resource_stats(self) -> dict[ResourceKey, ResourceStats]:
+        """Per-resource utilization accumulated so far.
+
+        Busy time and byte counts are settled up to the current simulated
+        instant before the snapshot is taken.
+        """
+        self._settle()
+        return {
+            key: ResourceStats(
+                busy_seconds=float(self._res_busy[ri]),
+                bytes_moved=float(self._res_bytes[ri]),
+                max_concurrent_flows=int(self._res_hwm[ri]),
+                flows_started=int(self._res_flows[ri]),
+            )
+            for key, ri in self._res_index.items()
+        }
 
     # ------------------------------------------------------------------
     # internals
@@ -260,6 +312,18 @@ class FlowNetwork:
             return
         if dt > 0:
             moving = self._alive[:n] & ~self._paused[:n]
+            ne = self._n_edges
+            e_flow = self._e_flow[:ne]
+            live = moving[e_flow] & (self._rate[e_flow] > 0)
+            if live.any():
+                ef = e_flow[live]
+                er = self._e_res[:ne][live]
+                np.add.at(
+                    self._res_bytes, er, self._rate[ef] * self._e_mult[:ne][live] * dt
+                )
+                busy = np.zeros(len(self._res_keys), dtype=bool)
+                busy[er] = True
+                self._res_busy[busy] += dt
             self._remaining[:n][moving] -= self._rate[:n][moving] * dt
         finished = np.flatnonzero(self._alive[:n] & (self._remaining[:n] <= _EPS_BYTES))
         if finished.size:
@@ -288,6 +352,10 @@ class FlowNetwork:
         e_mult = self._e_mult[:ne][live_edge]
         if e_flow.size == 0:
             return
+        # contention high-water mark: concurrent runnable flows per resource
+        conc = np.zeros(len(self._res_keys), dtype=np.int64)
+        np.add.at(conc, e_res, 1)
+        np.maximum(self._res_hwm, conc, out=self._res_hwm)
         weights = self._weight
         nres = len(self._res_keys)
         weight_on = np.zeros(nres)

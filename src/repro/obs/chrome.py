@@ -1,0 +1,92 @@
+"""Chrome/Perfetto ``trace_event`` JSON export.
+
+The `trace_event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+is the lingua franca of timeline viewers: ``chrome://tracing``,
+https://ui.perfetto.dev and Speedscope all read it.  We map
+
+* each traced *actor* (``rank0``, ``rank0:comm``, ...) to one thread of
+  a single process, named via ``thread_name`` metadata events,
+* each recorded interval to a complete (``"ph": "X"``) event,
+* each structured event to an instant (``"ph": "i"``) event carrying its
+  ``args`` payload.
+
+Timestamps are microseconds, as the format requires; the simulator's
+clock runs in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.frame.trace import TraceRecorder
+
+__all__ = ["chrome_trace_events", "to_chrome_trace", "write_chrome_trace"]
+
+_US = 1e6  # seconds -> microseconds
+
+
+def _tid_map(recorder: TraceRecorder) -> dict[str, int]:
+    return {actor: tid for tid, actor in enumerate(recorder.actors())}
+
+
+def chrome_trace_events(recorder: TraceRecorder, *, pid: int = 0) -> list[dict[str, Any]]:
+    """The ``traceEvents`` list for *recorder* (metadata first)."""
+    tids = _tid_map(recorder)
+    out: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": actor},
+        }
+        for actor, tid in tids.items()
+    ]
+    for iv in sorted(recorder.intervals, key=lambda iv: (iv.start, iv.actor)):
+        out.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tids[iv.actor],
+                "name": iv.label,
+                "cat": "interval",
+                "ts": iv.start * _US,
+                "dur": iv.duration * _US,
+            }
+        )
+    for ev in recorder.iter_events():
+        out.append(
+            {
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "pid": pid,
+                "tid": tids[ev.actor],
+                "name": ev.name,
+                "cat": ev.category or "event",
+                "ts": ev.time * _US,
+                "args": dict(ev.args),
+            }
+        )
+    return out
+
+
+def to_chrome_trace(recorder: TraceRecorder) -> dict[str, Any]:
+    """The full JSON-object form of the trace."""
+    return {
+        "traceEvents": chrome_trace_events(recorder),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(recorder: TraceRecorder, path: str | Path) -> Path:
+    """Write the trace as JSON; returns the written path.
+
+    Load the file in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(recorder), indent=None))
+    return path

@@ -1,0 +1,85 @@
+"""Flat metrics extraction from one simulation run.
+
+One ``{name: value}`` dict per :class:`~repro.core.runner.SimulationResult`
+— the shape every metrics backend (Prometheus exposition, CSV columns,
+regression-test assertions) can ingest without schema negotiation.
+
+Naming convention: dotted lowercase paths.  ``sim.*`` for run-level
+figures, ``mpi.*`` for message/event counts from the structured trace,
+``resource.<class>.*`` for utilization aggregated over all resources of
+one class (``membus``, ``nic_out``, ``nic_in``, ``intra``,
+``torus_links``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.runner import SimulationResult
+
+__all__ = ["simulation_metrics"]
+
+#: Structured-event names folded into ``mpi.<name>`` counters.
+_MPI_EVENT_NAMES = (
+    "msg_posted",
+    "msg_matched",
+    "wire_started",
+    "msg_gated",
+    "msg_resumed",
+    "msg_completed",
+    "gate_open",
+    "gate_close",
+)
+
+
+def simulation_metrics(result: SimulationResult) -> dict[str, float]:
+    """Flatten *result* (and its trace, if any) into one metrics dict."""
+    m: dict[str, float] = {
+        "sim.nodes": float(result.n_nodes),
+        "sim.ranks": float(result.n_ranks),
+        "sim.iterations": float(result.iterations),
+        "sim.total_seconds": float(result.total_seconds),
+        "sim.seconds_per_mvm": float(result.seconds_per_mvm),
+        "sim.gflops": float(result.gflops),
+        "sim.nnz": float(result.nnz),
+        "sim.comm_bytes_per_mvm": float(result.comm_bytes_per_mvm),
+        "sim.messages_per_mvm": float(result.messages_per_mvm),
+        "sim.bytes_transferred": float(result.bytes_transferred),
+    }
+    if result.trace is not None:
+        counts = Counter(ev.name for ev in result.trace.events if ev.category == "mpi")
+        for name in _MPI_EVENT_NAMES:
+            m[f"mpi.{name}"] = float(counts.get(name, 0))
+        m["trace.intervals"] = float(len(result.trace.intervals))
+        m["trace.events"] = float(len(result.trace.events))
+        barriers = [ev for ev in result.trace.events if ev.category == "barrier"]
+        m["omp.barrier_waits"] = float(len(barriers))
+        m["omp.barrier_seconds"] = float(
+            sum(ev.args.get("seconds", 0.0) for ev in barriers)
+        )
+    if result.resource_stats:
+        by_class: dict[str, list] = {}
+        for key, stats in result.resource_stats.items():
+            cls = key[0] if isinstance(key, tuple) and key else str(key)
+            by_class.setdefault(str(cls), []).append(stats)
+        for cls, stats_list in sorted(by_class.items()):
+            m[f"resource.{cls}.count"] = float(len(stats_list))
+            m[f"resource.{cls}.bytes_moved"] = float(
+                sum(s.bytes_moved for s in stats_list)
+            )
+            m[f"resource.{cls}.busy_seconds_max"] = float(
+                max(s.busy_seconds for s in stats_list)
+            )
+            m[f"resource.{cls}.max_concurrent_flows"] = float(
+                max(s.max_concurrent_flows for s in stats_list)
+            )
+            m[f"resource.{cls}.flows_started"] = float(
+                sum(s.flows_started for s in stats_list)
+            )
+            if result.total_seconds > 0:
+                m[f"resource.{cls}.busy_fraction_max"] = float(
+                    max(
+                        s.busy_fraction(result.total_seconds) for s in stats_list
+                    )
+                )
+    return m

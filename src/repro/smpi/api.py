@@ -28,6 +28,8 @@ so concurrent messages contend for NICs and torus links realistically.
 
 from __future__ import annotations
 
+import math
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Generator
@@ -35,6 +37,7 @@ from typing import Generator
 from repro.frame.core import Simulator
 from repro.frame.events import SimEvent, all_of
 from repro.frame.resources import Flow, FlowNetwork
+from repro.frame.trace import TraceRecorder
 from repro.machine.network import Interconnect
 from repro.util import check_nonnegative_int
 
@@ -71,8 +74,11 @@ class _Message:
 
     ``wire_done`` fires when the payload has fully arrived; a receive
     that matches an already-started eager transfer completes then.
+    ``mid`` is a world-unique message id used to correlate the
+    structured trace events of one transfer's lifecycle.
     """
 
+    mid: int = -1
     send: SimRequest | None = None
     recv: SimRequest | None = None
     flow: Flow | None = None
@@ -105,12 +111,14 @@ class SimMPI:
         interconnect: Interconnect,
         rank_node: list[int],
         config: MPIConfig | None = None,
+        trace: TraceRecorder | None = None,
     ) -> None:
         self._sim = sim
         self._net = net
         self._icn = interconnect
         self._rank_node = list(rank_node)
         self.config = config or MPIConfig()
+        self.trace = trace
         self._depth = [0] * len(rank_node)
         self._pending_send: dict[tuple[int, int, int], deque[_Message]] = {}
         self._pending_recv: dict[tuple[int, int, int], deque[_Message]] = {}
@@ -118,6 +126,12 @@ class SimMPI:
         self._gated: dict[int, list[_Message]] = {r: [] for r in range(len(rank_node))}
         self.bytes_transferred = 0.0
         self.messages_sent = 0
+        self._next_mid = 0
+
+    def _emit(self, actor: str, name: str, **args) -> None:
+        """Structured trace event at the current simulated instant."""
+        if self.trace is not None:
+            self.trace.emit(self._sim.now, actor, name, "mpi", **args)
 
     @property
     def nranks(self) -> int:
@@ -136,13 +150,18 @@ class SimMPI:
         nbytes = check_nonnegative_int(nbytes, "nbytes")
         req = SimRequest("send", src, dst, tag, nbytes)
         key = (src, dst, tag)
+        self._emit(
+            f"rank{src}", "msg_posted", kind="send",
+            src=src, dst=dst, tag=tag, nbytes=nbytes,
+        )
         queue = self._pending_recv.get(key)
         if queue:
             msg = queue.popleft()
             msg.send = req
+            self._emit(f"rank{src}", "msg_matched", mid=msg.mid, src=src, dst=dst)
             self._launch(msg)
         else:
-            msg = _Message(send=req)
+            msg = self._new_message(send=req)
             self._pending_send.setdefault(key, deque()).append(msg)
             if nbytes <= self.config.eager_threshold:
                 # eager data leaves immediately even without a matching recv
@@ -155,10 +174,15 @@ class SimMPI:
         nbytes = check_nonnegative_int(nbytes, "nbytes")
         req = SimRequest("recv", src, dst, tag, nbytes)
         key = (src, dst, tag)
+        self._emit(
+            f"rank{dst}", "msg_posted", kind="recv",
+            src=src, dst=dst, tag=tag, nbytes=nbytes,
+        )
         queue = self._pending_send.get(key)
         if queue:
             msg = queue.popleft()
             msg.recv = req
+            self._emit(f"rank{dst}", "msg_matched", mid=msg.mid, src=src, dst=dst)
             if msg.started:
                 # eager transfer already under way (or finished): the recv
                 # completes once the payload is on the wire's far side
@@ -166,9 +190,14 @@ class SimMPI:
             else:
                 self._launch(msg)
         else:
-            msg = _Message(recv=req)
+            msg = self._new_message(recv=req)
             self._pending_recv.setdefault(key, deque()).append(msg)
         return req
+
+    def _new_message(self, **kwargs) -> _Message:
+        msg = _Message(mid=self._next_mid, **kwargs)
+        self._next_mid += 1
+        return msg
 
     # ------------------------------------------------------------------
     # progress state
@@ -177,6 +206,7 @@ class SimMPI:
         """Mark *rank* as executing MPI library code."""
         self._depth[rank] += 1
         if self._depth[rank] == 1:
+            self._emit(f"rank{rank}", "gate_open", rank=rank)
             self._update_gates(rank)
 
     def exit_mpi(self, rank: int) -> None:
@@ -185,6 +215,7 @@ class SimMPI:
             raise RuntimeError(f"rank {rank} exit_mpi without matching enter_mpi")
         self._depth[rank] -= 1
         if self._depth[rank] == 0:
+            self._emit(f"rank{rank}", "gate_close", rank=rank)
             self._update_gates(rank)
 
     def in_mpi(self, rank: int) -> bool:
@@ -211,13 +242,25 @@ class SimMPI:
         """Modelled duration of an allreduce over all ranks.
 
         Log-tree: ``ceil(log2 P)`` rounds of latency + bandwidth term.
-        Used by the iterative solvers for their dot products.
+        Used by the iterative solvers for their dot products.  On a
+        degenerate route with no bandwidth-limited resources the model
+        falls back to latency only (with a warning) instead of crashing.
         """
-        import math
-
         p = max(1, self.nranks)
         rounds = math.ceil(math.log2(p)) if p > 1 else 0
-        per_round = self._icn.latency + nbytes / self._min_link_bandwidth()
+        if rounds == 0:
+            return 0.0
+        bandwidth = self._min_link_bandwidth()
+        if math.isinf(bandwidth):
+            warnings.warn(
+                "allreduce probe route between ranks 0 and "
+                f"{self.nranks - 1} declares no bandwidth-limited resources; "
+                "falling back to a latency-only allreduce model",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return rounds * self._icn.latency
+        per_round = self._icn.latency + nbytes / bandwidth
         return rounds * per_round
 
     def allreduce(self, rank: int, nbytes: int = 8) -> Generator:
@@ -229,10 +272,28 @@ class SimMPI:
             self.exit_mpi(rank)
 
     def _min_link_bandwidth(self) -> float:
+        """Minimum capacity along a representative route.
+
+        Returns ``inf`` when the route is degenerate (no resource
+        demands), so callers can fall back to a latency-only model; an
+        unregistered resource key raises a descriptive error instead of
+        a bare ``KeyError``/``ValueError``.
+        """
         src_node = self._rank_node[0]
         dst_node = self._rank_node[-1]
         probe = self._icn.route(1.0, src_node, dst_node)
-        return min(self._net.capacity_of(k, 1.0) for k, _ in probe.demands)
+        capacities = []
+        for key, _demand in probe.demands:
+            try:
+                capacities.append(self._net.capacity_of(key, 1.0))
+            except KeyError as exc:
+                raise RuntimeError(
+                    f"allreduce probe route (node {src_node} -> {dst_node}) uses "
+                    f"resource {key!r} which is not registered on the flow network"
+                ) from exc
+        if not capacities:
+            return math.inf
+        return min(capacities)
 
     # ------------------------------------------------------------------
     # internals
@@ -249,13 +310,20 @@ class SimMPI:
         gated = not eager and not self.config.async_progress
 
         def begin() -> None:
+            paused = gated and not self._gate_open(send.src, send.dst)
             flow = self._net.start_flow(
                 max(1, send.nbytes),
                 {k: mult / max(1, send.nbytes) for k, mult in route.demands},
-                paused=gated and not self._gate_open(send.src, send.dst),
+                paused=paused,
                 label=f"msg {send.src}->{send.dst} ({send.nbytes} B)",
             )
             msg.flow = flow
+            self._emit(
+                f"rank{send.src}", "wire_started", mid=msg.mid,
+                src=send.src, dst=send.dst, nbytes=send.nbytes,
+                protocol="eager" if eager else "rendezvous",
+                paused=paused, transferred=0.0,
+            )
             if gated:
                 self._gated[send.src].append(msg)
                 self._gated[send.dst].append(msg)
@@ -274,6 +342,11 @@ class SimMPI:
         send, recv = msg.send, msg.recv
         assert send is not None
         self.bytes_transferred += send.nbytes
+        self._emit(
+            f"rank{send.src}", "msg_completed", mid=msg.mid,
+            src=send.src, dst=send.dst, nbytes=send.nbytes,
+            transferred=float(send.nbytes),
+        )
         msg.wire_done.succeed(msg)
         if not send.done.triggered:
             send.done.succeed(send)
@@ -292,7 +365,19 @@ class SimMPI:
                 continue
             send = msg.send
             assert send is not None
+            flow = msg.flow
             if self._gate_open(send.src, send.dst):
-                self._net.resume(msg.flow)
-            else:
-                self._net.pause(msg.flow)
+                if flow.paused:
+                    self._net.resume(flow)
+                    self._emit(
+                        f"rank{send.src}", "msg_resumed", mid=msg.mid,
+                        src=send.src, dst=send.dst, nbytes=send.nbytes,
+                        transferred=flow.size - flow.remaining,
+                    )
+            elif not flow.paused:
+                self._net.pause(flow)
+                self._emit(
+                    f"rank{send.src}", "msg_gated", mid=msg.mid,
+                    src=send.src, dst=send.dst, nbytes=send.nbytes,
+                    transferred=flow.size - flow.remaining,
+                )

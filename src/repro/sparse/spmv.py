@@ -2,10 +2,19 @@
 
 The paper's reference kernel (Sect. 1.2) is the classic two-loop CRS
 code; in Python the equivalent O(nnz) vectorised formulation is the
-*segmented sum*: multiply ``val`` with the gathered RHS elements, take a
-cumulative sum, and difference it at the row boundaries.  All kernels
-here share that core so that the split local/nonlocal variants add
-results in a deterministic order.
+*segmented sum*: multiply ``val`` with the gathered RHS elements and
+reduce each row's slice independently (``np.add.reduceat`` over the row
+offsets).  All kernels here share that core so that the split
+local/nonlocal variants add results in a deterministic order.
+
+Earlier revisions implemented the segmented sum by differencing a
+cumulative sum at the row boundaries.  That formulation is numerically
+wrong for mixed-magnitude matrices: the running sum carries every
+previous row's partial into the current row's difference, so a huge
+entry anywhere cancels small rows that follow it (e.g. rows
+``[[1e16, 1], [1, 1]]`` with ``x = ones(2)`` returned ``[1e16, 0]``
+instead of ``[1e16, 2]``).  ``reduceat`` keeps each row's accumulation
+independent, matching the two-loop CRS reference exactly.
 
 Kernels
 -------
@@ -42,17 +51,23 @@ __all__ = [
 def _segmented_rowsums(
     row_ptr: np.ndarray, col_idx: np.ndarray, val: np.ndarray, x: np.ndarray
 ) -> np.ndarray:
-    """Per-row sums of ``val * x[col_idx]`` via cumulative-sum differencing.
+    """Per-row sums of ``val * x[col_idx]`` via ``np.add.reduceat``.
 
-    Handles empty rows naturally (difference of equal offsets is 0).
+    Each row is reduced over its own slice only, so partial sums never
+    cross row boundaries (no cumulative-sum cancellation).  Empty rows
+    must be masked out: ``reduceat`` at a repeated offset returns the
+    *element* at that offset rather than an empty-sum 0.
     """
+    nrows = row_ptr.size - 1
+    out = np.zeros(nrows)
     if col_idx.size == 0:
-        return np.zeros(row_ptr.size - 1)
+        return out
     prod = val * x[col_idx]
-    csum = np.empty(prod.size + 1)
-    csum[0] = 0.0
-    np.cumsum(prod, out=csum[1:])
-    return csum[row_ptr[1:]] - csum[row_ptr[:-1]]
+    nonempty = row_ptr[1:] > row_ptr[:-1]
+    starts = row_ptr[:-1][nonempty]
+    if starts.size:
+        out[nonempty] = np.add.reduceat(prod, starts)
+    return out
 
 
 def spmv(A: "CSRMatrix", x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:

@@ -120,6 +120,26 @@ def test_fig4_task_mode_fastest(fig4):
     ) * 1.02
 
 
+def test_fig4_rendezvous_bytes_validate_overlap_from_trace(fig4):
+    """Sect. 3, measured from the event stream: without asynchronous
+    progress, rendezvous bytes move during the local spMVM only when a
+    dedicated communication thread drives MPI (task mode)."""
+    total = fig4.rendezvous_bytes_total
+    during = fig4.rendezvous_bytes_during_local
+    assert total["task_mode"] > 0
+    assert during["naive_overlap"] == 0.0
+    assert during["no_overlap"] == 0.0
+    assert during["task_mode"] == pytest.approx(total["task_mode"], rel=1e-6)
+    assert "rendezvous bytes during local spMVM" in fig4.render()
+
+
+def test_fig4_async_progress_unlocks_naive_overlap():
+    r = run_fig4(scale="small", async_progress=True)
+    assert r.rendezvous_bytes_during_local["naive_overlap"] == pytest.approx(
+        r.rendezvous_bytes_total["naive_overlap"], rel=1e-6
+    )
+
+
 # ----------------------------------------------------------------------
 # progress probe
 # ----------------------------------------------------------------------

@@ -272,3 +272,92 @@ def test_trace_disabled():
     tr.record("a", "x", 0.0, 1.0)
     assert tr.intervals == []
     assert tr.render_gantt() == "(empty trace)"
+
+
+def test_gantt_cycles_letters_beyond_pool():
+    """Regression: >36 distinct labels used to walk off the alphabet into
+    punctuation; the letter pool must cycle instead."""
+    tr = TraceRecorder()
+    n_labels = 80
+    for i in range(n_labels):
+        tr.record("actor", f"label-{i}", float(i), float(i + 1))
+    chart = tr.render_gantt(width=100)
+    lines = chart.splitlines()
+    row = next(line for line in lines if line.startswith("actor |"))
+    body = row.split("|")[1]
+    assert all(c.isalnum() or c == " " for c in body)
+    # the legend still lists every distinct label
+    assert sum(1 for line in lines if line.lstrip().startswith(tuple("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789")) and " = label-" in line) == n_labels
+
+
+def test_trace_events_emit_and_query():
+    tr = TraceRecorder()
+    tr.emit(1.0, "rank0", "phase_begin", "phase", label="gather")
+    tr.emit(2.0, "rank0", "phase_end", "phase", label="gather")
+    tr.emit(0.5, "rank1", "gate_open", "gate", rank=1)
+    assert len(tr.events) == 3
+    assert [ev.name for ev in tr.iter_events()] == ["gate_open", "phase_begin", "phase_end"]
+    assert tr.phase_windows("gather") == [(1.0, 2.0)]
+    assert tr.phase_windows("gather", actor="rank1") == []
+    assert tr.events_named("gate_open")[0].args["rank"] == 1
+    assert tr.makespan() == 2.0
+
+
+def test_trace_events_disabled():
+    tr = TraceRecorder(enabled=False)
+    tr.emit(1.0, "a", "x")
+    assert tr.events == []
+
+
+def test_flow_network_resource_stats():
+    sim = Simulator()
+    net = FlowNetwork(sim, {"bus": lambda w: 10.0, "idle": lambda w: 5.0})
+    f1 = net.start_flow(100.0, {"bus": 1.0}, label="a")
+    f2 = net.start_flow(100.0, {"bus": 1.0}, label="b")
+    sim.run()
+    assert f1.done.triggered and f2.done.triggered
+    stats = net.resource_stats()
+    # two flows share 10 B/s -> 200 B total take 20 s, bus busy throughout
+    assert stats["bus"].bytes_moved == pytest.approx(200.0)
+    assert stats["bus"].busy_seconds == pytest.approx(20.0)
+    assert stats["bus"].max_concurrent_flows == 2
+    assert stats["bus"].flows_started == 2
+    assert stats["bus"].busy_fraction(20.0) == pytest.approx(1.0)
+    assert stats["idle"].bytes_moved == 0.0
+    assert stats["idle"].busy_seconds == 0.0
+    assert stats["idle"].max_concurrent_flows == 0
+
+
+def test_resource_stats_demand_multiplier_counts_weighted_bytes():
+    sim = Simulator()
+    net = FlowNetwork(sim, {"pool": lambda w: 30.0})
+    # 3-hop message: demand multiplier 3 on the link pool
+    net.start_flow(90.0, {"pool": 3.0}, label="hop3")
+    sim.run()
+    stats = net.resource_stats()
+    assert stats["pool"].bytes_moved == pytest.approx(270.0)
+    # rate = 30/3 = 10 B/s -> 9 s busy
+    assert stats["pool"].busy_seconds == pytest.approx(9.0)
+
+
+def test_resource_stats_paused_flow_accrues_nothing():
+    sim = Simulator()
+    net = FlowNetwork(sim, {"bus": lambda w: 10.0})
+    f = net.start_flow(50.0, {"bus": 1.0}, paused=True, label="gated")
+    sim.schedule(4.0, lambda: net.resume(f))
+    sim.run()
+    stats = net.resource_stats()
+    assert stats["bus"].bytes_moved == pytest.approx(50.0)
+    # busy only during the 5 s of actual transfer, not the 4 s gate
+    assert stats["bus"].busy_seconds == pytest.approx(5.0)
+
+
+def test_resource_stats_after_add_capacity():
+    sim = Simulator()
+    net = FlowNetwork(sim, {"a": lambda w: 10.0})
+    net.add_capacity("b", lambda w: 10.0)
+    net.start_flow(10.0, {"b": 1.0}, label="late")
+    sim.run()
+    stats = net.resource_stats()
+    assert stats["b"].bytes_moved == pytest.approx(10.0)
+    assert stats["a"].bytes_moved == 0.0

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.frame import FlowNetwork, Simulator
-from repro.machine.network import FatTree, Torus2D
+from repro.frame import FlowNetwork, Simulator, TraceRecorder
+from repro.machine.network import FatTree, Route, Torus2D
 from repro.smpi import MPIConfig, SimMPI
 
 
@@ -234,3 +234,133 @@ def test_torus_transfers_respect_link_pool():
     sim.spawn(receiver(sim))
     sim.run()
     assert done["t"] > 0
+
+
+# ----------------------------------------------------------------------
+# degenerate routes (allreduce hardening)
+# ----------------------------------------------------------------------
+class _LatencyOnlyIcn(FatTree):
+    """Interconnect whose routes declare no bandwidth-limited resources."""
+
+    def route(self, nbytes, src_node, dst_node):
+        return Route(self.latency, ())
+
+
+class _UnregisteredIcn(FatTree):
+    """Interconnect whose probe route names a resource nobody registered."""
+
+    def route(self, nbytes, src_node, dst_node):
+        return Route(self.latency, ((("ghost", 0), float(nbytes)),))
+
+
+def test_allreduce_degenerate_route_falls_back_to_latency():
+    sim = Simulator()
+    icn = _LatencyOnlyIcn(latency=2e-6, link_bandwidth=1e9)
+    net = FlowNetwork(sim, icn.resources(2))
+    mpi = SimMPI(sim, net, icn, [0, 1])
+    with pytest.warns(RuntimeWarning, match="latency-only"):
+        t = mpi.allreduce_time(8)
+    # ceil(log2 2) = 1 round of pure latency
+    assert t == pytest.approx(2e-6)
+
+
+def test_allreduce_unregistered_resource_raises_descriptive_error():
+    sim = Simulator()
+    icn = _UnregisteredIcn(latency=1e-6, link_bandwidth=1e9)
+    net = FlowNetwork(sim, icn.resources(2))
+    mpi = SimMPI(sim, net, icn, [0, 1])
+    with pytest.raises(RuntimeError, match="ghost"):
+        mpi.allreduce_time(8)
+
+
+def test_allreduce_single_rank_no_probe():
+    sim = Simulator()
+    icn = _LatencyOnlyIcn(latency=1e-6, link_bandwidth=1e9)
+    net = FlowNetwork(sim, icn.resources(1))
+    mpi = SimMPI(sim, net, icn, [0])
+    # zero rounds: no warning path needs to fire, duration is 0
+    assert mpi.allreduce_time(8) == 0.0
+
+
+# ----------------------------------------------------------------------
+# structured event stream
+# ----------------------------------------------------------------------
+def _traced_world(n_nodes=2, **cfg):
+    sim = Simulator()
+    icn = FatTree(latency=1e-6, link_bandwidth=1e9)
+    net = FlowNetwork(sim, icn.resources(n_nodes))
+    trace = TraceRecorder()
+    mpi = SimMPI(sim, net, icn, list(range(n_nodes)), config=MPIConfig(**cfg),
+                 trace=trace)
+    return sim, mpi, trace
+
+
+def test_trace_eager_message_lifecycle():
+    sim, mpi, trace = _traced_world(eager_threshold=1 << 20)
+
+    def sender(sim):
+        req = mpi.isend(0, 1, 100)
+        yield from mpi.waitall(0, [req])
+
+    def receiver(sim):
+        req = mpi.irecv(1, 0, 100)
+        yield from mpi.waitall(1, [req])
+
+    sim.spawn(sender(sim))
+    sim.spawn(receiver(sim))
+    sim.run()
+    names = [ev.name for ev in trace.iter_events("mpi")]
+    assert names.count("msg_posted") == 2  # one send post, one recv post
+    assert names.count("wire_started") == 1
+    assert names.count("msg_completed") == 1
+    started = trace.events_named("wire_started", "mpi")[0]
+    assert started.args["protocol"] == "eager"
+    assert started.args["nbytes"] == 100
+    completed = trace.events_named("msg_completed", "mpi")[0]
+    assert completed.args["mid"] == started.args["mid"]
+    assert completed.args["transferred"] == 100
+
+
+def test_trace_rendezvous_gating_events():
+    """A rendezvous flow posted outside MPI starts gated and resumes when
+    both endpoints block in Waitall."""
+    sim, mpi, trace = _traced_world(eager_threshold=10, async_progress=False)
+
+    def sender(sim):
+        req = mpi.isend(0, 1, 100_000)
+        yield sim.timeout(5e-6)  # compute outside MPI; gate closed
+        yield from mpi.waitall(0, [req])
+
+    def receiver(sim):
+        req = mpi.irecv(1, 0, 100_000)
+        yield sim.timeout(5e-6)
+        yield from mpi.waitall(1, [req])
+
+    sim.spawn(sender(sim))
+    sim.spawn(receiver(sim))
+    sim.run()
+    started = trace.events_named("wire_started", "mpi")[0]
+    assert started.args["protocol"] == "rendezvous"
+    assert started.args["paused"] is True
+    resumed = trace.events_named("msg_resumed", "mpi")
+    assert resumed and resumed[0].time >= 5e-6
+    gates = [ev.name for ev in trace.iter_events("mpi")
+             if ev.name in ("gate_open", "gate_close")]
+    assert gates.count("gate_open") == gates.count("gate_close")
+
+
+def test_trace_disabled_by_default():
+    sim, mpi = _world()
+
+    def sender(sim):
+        req = mpi.isend(0, 1, 100)
+        yield from mpi.waitall(0, [req])
+
+    def receiver(sim):
+        req = mpi.irecv(1, 0, 100)
+        yield from mpi.waitall(1, [req])
+
+    sim.spawn(sender(sim))
+    sim.spawn(receiver(sim))
+    sim.run()  # no recorder attached; nothing should blow up
+    assert mpi.messages_sent == 1

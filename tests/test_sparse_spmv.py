@@ -91,3 +91,89 @@ def test_traffic_rejects_negative_kappa():
     m = CSRMatrix.identity(3)
     with pytest.raises(ValueError, match="kappa"):
         spmv_traffic(m, kappa=-1.0)
+
+
+# ----------------------------------------------------------------------
+# kernel accuracy: the cross-row cancellation bug (fixed via reduceat)
+# ----------------------------------------------------------------------
+def test_spmv_no_cross_row_cancellation():
+    """Regression: cumsum-differencing carried 1e16 into the next row's
+    difference and returned [1e16, 0.0]; the true second row sum is 2.0."""
+    m = CSRMatrix.from_dense(np.array([[1e16, 1.0], [1.0, 1.0]]))
+    y = spmv(m, np.ones(2))
+    assert y.tolist() == [1e16, 2.0]
+
+
+def test_spmv_add_no_cross_row_cancellation():
+    m = CSRMatrix.from_dense(np.array([[1e16, 1.0], [1.0, 1.0]]))
+    out = np.zeros(2)
+    spmv_add(m, np.ones(2), out)
+    assert out.tolist() == [1e16, 2.0]
+
+
+def test_spmv_rows_no_cross_row_cancellation():
+    m = CSRMatrix.from_dense(np.array([[1e16, 1.0], [1.0, 1.0]]))
+    out = np.zeros(2)
+    spmv_rows(m, np.ones(2), 0, 2, out)
+    assert out.tolist() == [1e16, 2.0]
+
+
+def test_spmv_huge_entry_then_empty_row():
+    # empty row after a huge-magnitude row must stay exactly 0
+    m = CSRMatrix(
+        np.array([0, 2, 2, 4]),
+        np.array([0, 1, 0, 1]),
+        np.array([1e16, 1.0, 3.0, 4.0]),
+        ncols=2,
+    )
+    y = spmv(m, np.ones(2))
+    assert y.tolist() == [1e16, 0.0, 7.0]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_spmv_mixed_magnitudes_rowwise_bound(seed):
+    """Property: per-row error of spmv and spmv_split stays within a
+    condition-number-scaled bound for magnitudes spanning 1e-8..1e16."""
+    rng = np.random.default_rng(seed)
+    n = 60
+    mask = rng.random((n, n)) < 0.25
+    mags = 10.0 ** rng.uniform(-8, 16, (n, n))
+    d = mask * mags * rng.choice([-1.0, 1.0], (n, n))
+    x = 10.0 ** rng.uniform(-8, 16, n) * rng.choice([-1.0, 1.0], n)
+    m = CSRMatrix.from_dense(d)
+    bound = 1e-10 * (np.abs(d) @ np.abs(x)) + 1e-300
+    assert np.all(np.abs(spmv(m, x) - d @ x) <= bound)
+    split_mask = rng.random(n) < 0.6
+    local, remote = m.column_mask_split(split_mask)
+    halo_cols = remote.columns_used()
+    mapping = np.zeros(n, dtype=np.int64)
+    mapping[halo_cols] = np.arange(halo_cols.size)
+    remote_c = remote.relabel_columns(mapping, max(1, halo_cols.size))
+    y = spmv_split(local, remote_c, x, x[halo_cols] if halo_cols.size else np.zeros(1))
+    assert np.all(np.abs(y - d @ x) <= bound)
+
+
+@pytest.mark.parametrize("nparts", [1, 2, 3, 5])
+def test_halo_plan_split_kernels_reproduce_unsplit_product(nparts, rng):
+    """build_halo_plan's per-rank local/remote matrices applied with the
+    split kernel reproduce the unsplit product bit-for-bit on integer
+    data (exact fp addition makes summation order immaterial)."""
+    from repro.core import build_halo_plan
+    from repro.sparse.partition import partition_matrix
+
+    n = 48
+    d = (rng.random((n, n)) < 0.2) * rng.integers(-8, 9, (n, n)).astype(float)
+    A = CSRMatrix.from_dense(d)
+    x = rng.integers(-4, 5, n).astype(float)
+    reference = spmv(A, x)
+    plan = build_halo_plan(A, partition_matrix(A, nparts, strategy="rows"))
+    y = np.empty(n)
+    for rank in plan.ranks:
+        halo_x = (
+            x[rank.halo_columns] if rank.halo_columns.size else np.zeros(1)
+        )
+        y[rank.row_lo : rank.row_hi] = spmv_split(
+            rank.A_local, rank.A_remote, x[rank.row_lo : rank.row_hi], halo_x
+        )
+    assert np.array_equal(y, reference)
+    assert np.array_equal(y, d @ x)
