@@ -1,0 +1,147 @@
+"""The spMVM benchmark suite: kernel, batched, and distributed timings.
+
+Three groups mirror the layers of the implementation:
+
+* ``kernel`` — the raw CSR kernels on one process: ``spmv`` with and
+  without a preallocated output (the allocation-free hot path), and the
+  block kernel ``spmm`` for k ∈ {1, 4, 16};
+* ``distributed`` — the mpilite engine end to end: ``distributed_spmv``
+  and the batched ``distributed_spmm``, including halo exchange (one
+  message per peer per sweep, k columns per message when batched).
+
+Every result carries a ``gflops`` derived figure (2 flops per nonzero
+per right-hand side, from the minimum sample) so the batching win shows
+up directly in ``BENCH_spmvm.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import BenchResult, time_callable
+from repro.core.spmvm import distributed_spmm, distributed_spmv
+from repro.matrices import random_sparse
+from repro.sparse import spmm, spmv
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["BLOCK_WIDTHS", "spmvm_suite"]
+
+#: Block widths exercised by the batched benchmarks.
+BLOCK_WIDTHS = (1, 4, 16)
+
+
+def _gflops(nnz: int, k: int, seconds: float) -> float:
+    return 2.0 * nnz * k / seconds / 1e9
+
+
+def _kernel_benches(
+    A: CSRMatrix, rng: np.random.Generator, *, warmup: int, repeat: int
+) -> list[BenchResult]:
+    base = {"nrows": A.nrows, "nnz": A.nnz}
+    x = rng.standard_normal(A.ncols)
+    y = np.empty(A.nrows)
+    results = []
+    for name, fn, params in (
+        ("spmv", lambda: spmv(A, x), base),
+        ("spmv-out", lambda: spmv(A, x, out=y), {**base, "preallocated": True}),
+    ):
+        stats = time_callable(fn, warmup=warmup, repeat=repeat)
+        results.append(
+            BenchResult(
+                name=name, group="kernel", warmup=warmup, repeat=repeat,
+                seconds=stats, params=params,
+                derived={"gflops": _gflops(A.nnz, 1, stats.min)},
+            )
+        )
+    spmv_min = results[0].seconds.min
+    for k in BLOCK_WIDTHS:
+        X = rng.standard_normal((A.ncols, k))
+        Y = np.empty((A.nrows, k))
+        stats = time_callable(lambda: spmm(A, X, out=Y), warmup=warmup, repeat=repeat)
+        results.append(
+            BenchResult(
+                name=f"spmm-k{k}", group="kernel", warmup=warmup, repeat=repeat,
+                seconds=stats, params={**base, "k": k},
+                derived={
+                    "gflops": _gflops(A.nnz, k, stats.min),
+                    "seconds_per_column": stats.min / k,
+                    # > 1 once the matrix stream amortises over columns
+                    "speedup_vs_spmv": k * spmv_min / stats.min,
+                },
+            )
+        )
+    return results
+
+
+def _distributed_benches(
+    A: CSRMatrix,
+    rng: np.random.Generator,
+    *,
+    nranks: int,
+    scheme: str,
+    warmup: int,
+    repeat: int,
+) -> list[BenchResult]:
+    base = {"nrows": A.nrows, "nnz": A.nnz, "nranks": nranks, "scheme": scheme}
+    x = rng.standard_normal(A.ncols)
+    results = []
+    stats = time_callable(
+        lambda: distributed_spmv(A, x, nranks, scheme=scheme),
+        warmup=warmup, repeat=repeat,
+    )
+    results.append(
+        BenchResult(
+            name="distributed-spmv", group="distributed",
+            warmup=warmup, repeat=repeat, seconds=stats, params=base,
+            derived={"gflops": _gflops(A.nnz, 1, stats.min)},
+        )
+    )
+    single_min = stats.min
+    for k in BLOCK_WIDTHS:
+        X = rng.standard_normal((A.ncols, k))
+        stats = time_callable(
+            lambda: distributed_spmm(A, X, nranks, scheme=scheme),
+            warmup=warmup, repeat=repeat,
+        )
+        results.append(
+            BenchResult(
+                name=f"distributed-spmm-k{k}", group="distributed",
+                warmup=warmup, repeat=repeat, seconds=stats,
+                params={**base, "k": k},
+                derived={
+                    "gflops": _gflops(A.nnz, k, stats.min),
+                    "seconds_per_column": stats.min / k,
+                    "speedup_vs_spmv": k * single_min / stats.min,
+                },
+            )
+        )
+    return results
+
+
+def spmvm_suite(
+    *,
+    quick: bool = False,
+    nrows: int | None = None,
+    nranks: int | None = None,
+    scheme: str = "task_mode",
+    seed: int = 7,
+) -> list[BenchResult]:
+    """Run the full spMVM benchmark suite and return its results.
+
+    ``quick`` shrinks the matrix and the sample counts for CI smoke
+    runs; the schema and the result names are identical in both modes.
+    ``nrows``/``nranks`` override the mode defaults (used by the tests
+    to keep runtimes trivial).
+    """
+    if nrows is None:
+        nrows = 4_000 if quick else 40_000
+    if nranks is None:
+        nranks = 2 if quick else 4
+    warmup, repeat = (1, 3) if quick else (3, 7)
+    rng = np.random.default_rng(seed)
+    A = random_sparse(nrows, nnzr=15.0, seed=seed, ensure_diagonal=True)
+    results = _kernel_benches(A, rng, warmup=warmup, repeat=repeat)
+    results += _distributed_benches(
+        A, rng, nranks=nranks, scheme=scheme, warmup=warmup, repeat=repeat
+    )
+    return results

@@ -48,6 +48,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         ("commvol", "internode communication volume vs node count"),
         ("balance", "load-balancing study (compute vs communication)"),
         ("probe", "Sect. 3 asynchronous-progress probe"),
+        ("bench", "timed spMVM micro-benchmarks → BENCH_spmvm.json"),
         ("matrix", "build and describe one registry matrix"),
         ("all", "run every experiment in sequence"),
     ):
@@ -177,6 +178,18 @@ def _cmd_balance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the spMVM benchmark suite and write BENCH_spmvm.json."""
+    from repro.bench import spmvm_suite, write_results
+
+    results = spmvm_suite(quick=args.quick, scheme=args.scheme, seed=args.seed)
+    for r in results:
+        print(r.describe())
+    write_results(results, args.output, quick=args.quick)
+    print(f"\n{len(results)} results written to {args.output}")
+    return 0
+
+
 def _cmd_probe(_args: argparse.Namespace) -> int:
     from repro.experiments import run_progress_probe
 
@@ -255,6 +268,14 @@ def build_parser() -> argparse.ArgumentParser:
         p = add(name, fn)
         p.add_argument("--scale", default="small")
     add("probe", _cmd_probe)
+    pb = add("bench", _cmd_bench)
+    pb.add_argument("--quick", action="store_true",
+                    help="small matrix, few repeats (CI smoke mode)")
+    pb.add_argument("--scheme", default="task_mode",
+                    choices=("no_overlap", "naive_overlap", "task_mode"))
+    pb.add_argument("--seed", type=int, default=7)
+    pb.add_argument("--output", metavar="PATH", default="BENCH_spmvm.json",
+                    help="where to write the repro-bench/1 JSON (default: %(default)s)")
     pm = add("matrix", _cmd_matrix)
     pm.add_argument("name", choices=("HMeP", "HMEp", "sAMG"))
     pm.add_argument("--scale", default="tiny")

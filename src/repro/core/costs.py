@@ -43,24 +43,33 @@ class PhaseCosts:
         return self.local_spmv + self.remote_spmv
 
 
-def phase_costs(halo: RankHalo, kappa: float = 0.0) -> PhaseCosts:
-    """Per-phase traffic of *halo*'s rank for one MVM.
+def phase_costs(halo: RankHalo, kappa: float = 0.0, *, block_k: int = 1) -> PhaseCosts:
+    """Per-phase traffic of *halo*'s rank for one MVM sweep.
 
     ``full_spmv`` is the Fig. 4a kernel (result written once);
     ``local_spmv``/``remote_spmv`` are the two phases of the split
     kernel used by both overlap schemes (Fig. 4 b/c).
+
+    With ``block_k > 1`` the sweep applies the operator to a block of k
+    right-hand sides: the matrix data (``12`` bytes per nonzero) is
+    streamed once per *block*, while gather, RHS, result and the
+    ``kappa`` reload term scale with the k columns — the traffic form
+    of the block code balance (:func:`repro.model.code_balance_block`).
     """
     if kappa < 0:
         raise ValueError(f"kappa must be >= 0, got {kappa}")
+    if block_k < 1:
+        raise ValueError(f"block_k must be >= 1, got {block_k}")
+    k = float(block_k)
     nrows = halo.n_rows
-    gather = GATHER_BYTES_PER_ELEMENT * halo.n_send_elements
+    gather = GATHER_BYTES_PER_ELEMENT * halo.n_send_elements * k
     full = (
-        (12.0 + kappa) * halo.nnz
-        + 16.0 * nrows
-        + 8.0 * (nrows + halo.n_halo)
+        (12.0 + kappa * k) * halo.nnz
+        + 16.0 * nrows * k
+        + 8.0 * (nrows + halo.n_halo) * k
     )
-    local = (12.0 + kappa) * halo.nnz_local + 16.0 * nrows + 8.0 * nrows
-    remote = 12.0 * halo.nnz_remote + 16.0 * nrows + 8.0 * halo.n_halo
+    local = (12.0 + kappa * k) * halo.nnz_local + 16.0 * nrows * k + 8.0 * nrows * k
+    remote = 12.0 * halo.nnz_remote + 16.0 * nrows * k + 8.0 * halo.n_halo * k
     return PhaseCosts(
         gather=gather, full_spmv=full, local_spmv=local, remote_spmv=remote
     )

@@ -23,6 +23,7 @@ simulator needs, and it keeps large scaling sweeps cheap.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,7 +31,7 @@ import numpy as np
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.partition import RowPartition
 
-__all__ = ["RankHalo", "HaloPlan", "build_halo_plan"]
+__all__ = ["RankHalo", "HaloPlan", "build_halo_plan", "cached_halo_plan"]
 
 #: Bytes per RHS vector element on the wire (float64).
 ELEMENT_BYTES = 8
@@ -224,3 +225,40 @@ def build_halo_plan(
                 if with_matrices:
                     ranks[p].send_indices[q] = (cols - lo).astype(np.int64)
     return HaloPlan(partition=partition, nrows=A.nrows, nnz=A.nnz, ranks=ranks)
+
+
+# ----------------------------------------------------------------------
+# plan cache: solvers and benchmarks re-multiply the same matrix on the
+# same partition thousands of times; the bookkeeping "needs to be done
+# only once" (Sect. 3.1), so key it on the matrix *identity*
+# ----------------------------------------------------------------------
+_PLAN_CACHE: dict[tuple[int, int, str, bool], tuple[weakref.ref, HaloPlan]] = {}
+_PLAN_CACHE_MAX = 32
+
+
+def cached_halo_plan(
+    A: CSRMatrix, nparts: int, *, strategy: str = "nnz", with_matrices: bool = True
+) -> HaloPlan:
+    """Partition *A* and build (or reuse) its halo plan.
+
+    Plans are cached keyed on ``(id(A), nparts, strategy)`` — a weak
+    reference guards against id reuse after the matrix is garbage
+    collected, and matrices are treated as immutable once partitioned
+    (everything in this repository builds a matrix once and multiplies
+    it many times).  The cache is bounded; oldest entries fall out first.
+    """
+    from repro.sparse.partition import partition_matrix
+
+    key = (id(A), int(nparts), strategy, with_matrices)
+    hit = _PLAN_CACHE.get(key)
+    if hit is not None and hit[0]() is A:
+        return hit[1]
+    partition = partition_matrix(A, nparts, strategy=strategy)
+    plan = build_halo_plan(A, partition, with_matrices=with_matrices)
+    dead = [k for k, (ref, _p) in _PLAN_CACHE.items() if ref() is None]
+    for k in dead:
+        del _PLAN_CACHE[k]
+    while len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+        del _PLAN_CACHE[next(iter(_PLAN_CACHE))]
+    _PLAN_CACHE[key] = (weakref.ref(A), plan)
+    return plan

@@ -51,6 +51,8 @@ class RankContext:
     costs: PhaseCosts
     trace: TraceRecorder | None = None
     barrier_seconds: float = OMP_BARRIER_SECONDS
+    #: right-hand sides per sweep; halo messages carry k columns each
+    block_k: int = 1
     finish_times: list[float] = field(default_factory=list)
 
     @property
@@ -103,14 +105,16 @@ class RankContext:
 
 
 def _post_receives(ctx: RankContext, tag: int) -> list:
+    # one message per peer per sweep; a batched sweep carries all
+    # block_k columns of the segment in that single message
     return [
-        ctx.mpi.irecv(ctx.rank, src, 8 * count, tag)
+        ctx.mpi.irecv(ctx.rank, src, 8 * ctx.block_k * count, tag)
         for src, count in ctx.halo.recv_from
     ]
 
 def _post_sends(ctx: RankContext, tag: int) -> list:
     return [
-        ctx.mpi.isend(ctx.rank, dst, 8 * count, tag)
+        ctx.mpi.isend(ctx.rank, dst, 8 * ctx.block_k * count, tag)
         for dst, count in ctx.halo.send_to
     ]
 

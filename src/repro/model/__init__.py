@@ -8,7 +8,10 @@ from repro.model.cache import (
 )
 from repro.model.code_balance import (
     CodeBalanceModel,
+    block_speedup,
     code_balance,
+    code_balance_block,
+    code_balance_block_split,
     code_balance_split,
     kappa_from_bandwidth_ratio,
     kappa_from_measurement,
@@ -33,6 +36,9 @@ __all__ = [
     "CodeBalanceModel",
     "code_balance",
     "code_balance_split",
+    "code_balance_block",
+    "code_balance_block_split",
+    "block_speedup",
     "kappa_from_measurement",
     "kappa_from_bandwidth_ratio",
     "max_performance",

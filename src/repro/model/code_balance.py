@@ -32,12 +32,21 @@ from repro.util import check_positive_float
 __all__ = [
     "code_balance",
     "code_balance_split",
+    "code_balance_block",
+    "code_balance_block_split",
+    "block_speedup",
     "max_performance",
     "kappa_from_measurement",
     "kappa_from_bandwidth_ratio",
     "split_penalty",
     "CodeBalanceModel",
 ]
+
+
+def _check_block_width(k: int) -> int:
+    if k < 1:
+        raise ValueError(f"block width k must be >= 1, got {k}")
+    return int(k)
 
 
 def code_balance(nnzr: float, kappa: float = 0.0) -> float:
@@ -54,6 +63,47 @@ def code_balance_split(nnzr: float, kappa: float = 0.0) -> float:
     if kappa < 0:
         raise ValueError(f"kappa must be >= 0, got {kappa}")
     return 6.0 + 20.0 / nnzr + kappa / 2.0
+
+
+def code_balance_block(nnzr: float, k: int, kappa: float = 0.0) -> float:
+    """Block extension of Eq. 1: bytes per flop with k right-hand sides.
+
+    Processing k RHS vectors per sweep streams ``val``/``col_idx`` once
+    per *block*, so the 6 bytes/flop of matrix data amortise over the k
+    columns; the RHS/result traffic and the ``kappa`` cache-reload term
+    belong to each column and stay per-flop unchanged::
+
+        B_CRS_block(k, kappa) = 6/k + 12/Nnzr + kappa/2   [bytes/flop]
+
+    ``k = 1`` recovers Eq. 1 exactly.  This is the node-level half of
+    the batching win; the message-count half is in the simulator.
+    """
+    nnzr = check_positive_float(nnzr, "nnzr")
+    k = _check_block_width(k)
+    if kappa < 0:
+        raise ValueError(f"kappa must be >= 0, got {kappa}")
+    return 6.0 / k + 12.0 / nnzr + kappa / 2.0
+
+
+def code_balance_block_split(nnzr: float, k: int, kappa: float = 0.0) -> float:
+    """Block extension of Eq. 2 (split kernel, result written twice)::
+
+        B_splitCRS_block(k, kappa) = 6/k + 20/Nnzr + kappa/2
+    """
+    nnzr = check_positive_float(nnzr, "nnzr")
+    k = _check_block_width(k)
+    if kappa < 0:
+        raise ValueError(f"kappa must be >= 0, got {kappa}")
+    return 6.0 / k + 20.0 / nnzr + kappa / 2.0
+
+
+def block_speedup(nnzr: float, k: int, kappa: float = 0.0, *, split: bool = False) -> float:
+    """Attainable memory-bound speedup of a k-wide block sweep over k
+    single-vector sweeps: ``B(k=1) / B(k)`` (≥ 1, saturating as the
+    amortisable matrix traffic vanishes against the per-column terms)."""
+    if split:
+        return code_balance_block_split(nnzr, 1, kappa) / code_balance_block_split(nnzr, k, kappa)
+    return code_balance_block(nnzr, 1, kappa) / code_balance_block(nnzr, k, kappa)
 
 
 def max_performance(bandwidth: float, nnzr: float, kappa: float = 0.0, *, split: bool = False) -> float:

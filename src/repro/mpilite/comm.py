@@ -34,6 +34,7 @@ class Request:
     """Handle for a nonblocking mpilite operation."""
 
     _wait_fn: Callable[[], Any]
+    _poll_fn: Callable[[], bool] | None = None
     _done: bool = False
     _value: Any = None
 
@@ -45,8 +46,19 @@ class Request:
         return self._value
 
     def test(self) -> bool:
-        """Nonblocking completion probe (True once :meth:`wait` would not block)."""
-        return self._done
+        """Nonblocking completion probe (True once :meth:`wait` would not block).
+
+        When the operation carries a mailbox probe (irecv), a positive
+        probe completes the request immediately, so ``test()``-driven
+        polling loops make progress — MPI_Test semantics.
+        """
+        if self._done:
+            return True
+        if self._poll_fn is not None and self._poll_fn():
+            self._value = self._wait_fn()
+            self._done = True
+            return True
+        return False
 
 
 class CollectiveState:
@@ -79,7 +91,11 @@ class CollectiveState:
                 self._lock.notify_all()
             else:
                 while gen not in self._results:
-                    if not self._lock.wait(timeout=_DEFAULT_TIMEOUT):
+                    timed_out = not self._lock.wait(timeout=_DEFAULT_TIMEOUT)
+                    # A notification can land exactly at the deadline: the
+                    # last rank deposits the result while we are timing out,
+                    # so re-check the predicate before declaring failure.
+                    if timed_out and gen not in self._results:
                         raise TimeoutError(
                             f"rank {rank}: collective generation {gen} never completed"
                         )
@@ -129,8 +145,12 @@ class Comm:
         return req
 
     def irecv(self, source: int, tag: int = 0, timeout: float = _DEFAULT_TIMEOUT) -> Request:
-        """Nonblocking receive; :meth:`Request.wait` blocks for the data."""
-        return Request(lambda: self._router.get(self._rank, source, tag, timeout=timeout))
+        """Nonblocking receive; :meth:`Request.wait` blocks for the data,
+        :meth:`Request.test` probes the mailbox without blocking."""
+        return Request(
+            lambda: self._router.get(self._rank, source, tag, timeout=timeout),
+            _poll_fn=lambda: self._router.poll(self._rank, source, tag),
+        )
 
     def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
         """Buffer-mode send of a numpy array."""

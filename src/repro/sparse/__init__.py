@@ -30,6 +30,7 @@ from repro.sparse.reorder import (
     pseudo_peripheral_node,
     reverse_cuthill_mckee,
 )
+from repro.sparse.spmm import spmm, spmm_add, spmm_rows, spmm_traffic
 from repro.sparse.spmv import flops, spmv, spmv_add, spmv_rows, spmv_split, spmv_traffic
 from repro.sparse.stats import MatrixStats, bandwidth, matrix_stats, profile, row_nnz_histogram
 from repro.sparse.symmetric import SymmetricCSR, spmv_symmetric, symmetric_code_balance
@@ -56,6 +57,10 @@ __all__ = [
     "spmv_rows",
     "spmv_split",
     "spmv_traffic",
+    "spmm",
+    "spmm_add",
+    "spmm_rows",
+    "spmm_traffic",
     "flops",
     "MatrixStats",
     "matrix_stats",

@@ -61,7 +61,7 @@ class CSRMatrix:
         Number of columns.  Defaults to ``nrows`` (square matrix).
     """
 
-    __slots__ = ("row_ptr", "col_idx", "val", "ncols")
+    __slots__ = ("row_ptr", "col_idx", "val", "ncols", "__weakref__")
 
     def __init__(
         self,

@@ -115,14 +115,19 @@ def partition_nnz_balanced(A: CSRMatrix, nparts: int) -> RowPartition:
     ideal nonzero offsets, so the split is O(nparts log nrows).
     """
     nparts = check_positive_int(nparts, "nparts")
-    targets = (np.arange(1, nparts, dtype=np.float64) * A.nnz / nparts).astype(np.int64)
-    cuts = np.searchsorted(A.row_ptr[1:-1], targets, side="left") + 1 if A.nrows > 1 else np.zeros(0, np.int64)
     offsets = np.empty(nparts + 1, dtype=np.int64)
     offsets[0] = 0
     offsets[-1] = A.nrows
     if nparts > 1:
-        # clip so boundaries stay monotone even for pathological matrices
-        offsets[1:-1] = np.minimum(np.maximum.accumulate(cuts), A.nrows)
+        if A.nrows > 1:
+            targets = (np.arange(1, nparts, dtype=np.float64) * A.nnz / nparts).astype(np.int64)
+            cuts = np.searchsorted(A.row_ptr[1:-1], targets, side="left") + 1
+            # clip so boundaries stay monotone even for pathological matrices
+            offsets[1:-1] = np.minimum(np.maximum.accumulate(cuts), A.nrows)
+        else:
+            # fewer than two rows cannot be cut: part 0 owns everything,
+            # the surplus parts are empty (degenerate but valid offsets)
+            offsets[1:-1] = A.nrows
     return RowPartition(offsets)
 
 

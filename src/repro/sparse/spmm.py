@@ -1,0 +1,164 @@
+"""Batched multi-RHS spMVM: CSR times a dense block of k vectors.
+
+The paper's solvers (Lanczos, JD, KPM, Chebyshev) perform thousands of
+back-to-back MVMs; applying the operator to ``k`` right-hand sides at
+once amortises the matrix data (``val``/``col_idx`` streamed once per
+*block* instead of once per vector) and — in the distributed setting —
+the per-MVM message count and latency (one halo exchange per batch).
+This is the block-vector step of Schubert et al. (arXiv:1106.5908)
+toward production spMVM.
+
+The block is stored row-major, shape ``(n, k)``: row ``j`` holds the k
+RHS values of vector element ``j``, so the gather ``X[col_idx]`` touches
+contiguous 8k-byte chunks — the cache-friendly layout the block code
+balance (:func:`repro.model.code_balance_block`) assumes.
+
+Every kernel shares the :func:`np.add.reduceat` segmented-sum core with
+the single-vector kernels: ``reduceat`` along axis 0 accumulates each
+column in exactly the order the 1-D kernel uses, so column ``j`` of
+``spmm(A, X)`` is *bit-identical* to ``spmv(A, X[:, j])``.
+
+Kernels
+-------
+``spmm``            full block product ``C = A @ X``
+``spmm_add``        accumulate ``C += A @ X``
+``spmm_rows``       block product restricted to a contiguous row range
+``spmm_traffic``    bytes of main-memory traffic the block extension of
+                    the paper's model attributes to one block product
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.csr import CSRMatrix
+
+from repro.sparse.csr import IDX_BYTES, RESULT_BYTES, RHS_BYTES, VAL_BYTES
+
+__all__ = ["spmm", "spmm_add", "spmm_rows", "spmm_traffic"]
+
+
+def _segmented_block_rowsums(
+    row_ptr: np.ndarray,
+    col_idx: np.ndarray,
+    val: np.ndarray,
+    X: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-row sums of ``val[:, None] * X[col_idx]`` via ``reduceat`` (axis 0).
+
+    The 2-D analogue of the single-vector segmented sum: each row's slice
+    is reduced independently per column, never crossing row boundaries.
+    Empty rows are masked out for the same reason as in the 1-D kernel.
+    """
+    nrows = row_ptr.size - 1
+    k = X.shape[1]
+    if out is None:
+        out = np.empty((nrows, k))
+    if col_idx.size == 0:
+        out[:] = 0.0
+        return out
+    prod = val[:, None] * X[col_idx]
+    nonempty = row_ptr[1:] > row_ptr[:-1]
+    if nonempty.all():
+        np.add.reduceat(prod, row_ptr[:-1], axis=0, out=out)
+    else:
+        out[:] = 0.0
+        starts = row_ptr[:-1][nonempty]
+        if starts.size:
+            out[nonempty] = np.add.reduceat(prod, starts, axis=0)
+    return out
+
+
+def _check_block(A: "CSRMatrix", X: np.ndarray) -> np.ndarray:
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[0] != A.ncols:
+        raise ValueError(
+            f"X must be a block of shape ({A.ncols}, k), got shape {X.shape}"
+        )
+    return X
+
+
+def spmm(A: "CSRMatrix", X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Compute ``C = A @ X`` for a CSR matrix and a dense ``(n, k)`` block.
+
+    Column ``j`` of the result is bit-identical to ``spmv(A, X[:, j])``.
+
+    Parameters
+    ----------
+    A:
+        CSR matrix of shape ``(m, n)``.
+    X:
+        Dense block of shape ``(n, k)`` — k right-hand sides, row-major.
+    out:
+        Optional preallocated float64 result of shape ``(m, k)``
+        (overwritten in place).
+    """
+    X = _check_block(A, X)
+    if out is not None:
+        if out.shape != (A.nrows, X.shape[1]):
+            raise ValueError(
+                f"out must have shape ({A.nrows}, {X.shape[1]}), got {out.shape}"
+            )
+        if out.dtype != np.float64:
+            out[:] = _segmented_block_rowsums(A.row_ptr, A.col_idx, A.val, X)
+            return out
+    return _segmented_block_rowsums(A.row_ptr, A.col_idx, A.val, X, out=out)
+
+
+def spmm_add(A: "CSRMatrix", X: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Accumulate ``C += A @ X`` into a preallocated ``(m, k)`` block."""
+    X = _check_block(A, X)
+    if out.shape != (A.nrows, X.shape[1]):
+        raise ValueError(
+            f"out must have shape ({A.nrows}, {X.shape[1]}), got {out.shape}"
+        )
+    out += _segmented_block_rowsums(A.row_ptr, A.col_idx, A.val, X)
+    return out
+
+
+def spmm_rows(
+    A: "CSRMatrix", X: np.ndarray, row_lo: int, row_hi: int, out: np.ndarray
+) -> np.ndarray:
+    """Compute rows ``[row_lo, row_hi)`` of ``A @ X`` into ``out`` (shape (m, k)).
+
+    Rows outside the range are left untouched — the block analogue of
+    :func:`repro.sparse.spmv.spmv_rows` for explicit work distribution.
+    """
+    if not (0 <= row_lo <= row_hi <= A.nrows):
+        raise ValueError(f"invalid row range [{row_lo}, {row_hi})")
+    X = _check_block(A, X)
+    lo = int(A.row_ptr[row_lo])
+    hi = int(A.row_ptr[row_hi])
+    sub_ptr = A.row_ptr[row_lo : row_hi + 1] - lo
+    out[row_lo:row_hi] = _segmented_block_rowsums(
+        sub_ptr, A.col_idx[lo:hi], A.val[lo:hi], X
+    )
+    return out
+
+
+def spmm_traffic(
+    A: "CSRMatrix", k: int, *, kappa: float = 0.0, split: bool = False
+) -> float:
+    """Bytes of main-memory traffic for one ``A @ X`` block product.
+
+    The block extension of the paper's per-MVM accounting
+    (:func:`repro.sparse.spmv.spmv_traffic`): ``val`` and ``col_idx``
+    are streamed *once for the whole block*, while result, RHS and the
+    ``kappa`` cache-reload term scale with the k columns.  At ``k = 1``
+    this reduces exactly to the single-vector formula.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if kappa < 0:
+        raise ValueError(f"kappa must be >= 0, got {kappa}")
+    result_bytes = RESULT_BYTES * (2 if split else 1)
+    return (
+        (VAL_BYTES + IDX_BYTES) * A.nnz
+        + kappa * k * A.nnz
+        + result_bytes * A.nrows * k
+        + RHS_BYTES * A.ncols * k
+    )

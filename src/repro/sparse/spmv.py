@@ -49,7 +49,11 @@ __all__ = [
 
 
 def _segmented_rowsums(
-    row_ptr: np.ndarray, col_idx: np.ndarray, val: np.ndarray, x: np.ndarray
+    row_ptr: np.ndarray,
+    col_idx: np.ndarray,
+    val: np.ndarray,
+    x: np.ndarray,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Per-row sums of ``val * x[col_idx]`` via ``np.add.reduceat``.
 
@@ -57,16 +61,26 @@ def _segmented_rowsums(
     cross row boundaries (no cumulative-sum cancellation).  Empty rows
     must be masked out: ``reduceat`` at a repeated offset returns the
     *element* at that offset rather than an empty-sum 0.
+
+    With ``out`` given (float64, length nrows) the reduction writes the
+    result in place — no temporary result vector — as long as no row is
+    empty; the general masked path still needs one small gather.
     """
     nrows = row_ptr.size - 1
-    out = np.zeros(nrows)
+    if out is None:
+        out = np.empty(nrows)
     if col_idx.size == 0:
+        out[:] = 0.0
         return out
     prod = val * x[col_idx]
     nonempty = row_ptr[1:] > row_ptr[:-1]
-    starts = row_ptr[:-1][nonempty]
-    if starts.size:
-        out[nonempty] = np.add.reduceat(prod, starts)
+    if nonempty.all():
+        np.add.reduceat(prod, row_ptr[:-1], out=out)
+    else:
+        out[:] = 0.0
+        starts = row_ptr[:-1][nonempty]
+        if starts.size:
+            out[nonempty] = np.add.reduceat(prod, starts)
     return out
 
 
@@ -80,18 +94,20 @@ def spmv(A: "CSRMatrix", x: np.ndarray, out: np.ndarray | None = None) -> np.nda
     x:
         Dense vector of length ``n``.
     out:
-        Optional preallocated result of length ``m`` (overwritten).
+        Optional preallocated float64 result of length ``m``
+        (overwritten in place; the hot path allocates nothing beyond
+        the elementwise product).
     """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 1 or x.size != A.ncols:
         raise ValueError(f"x must be a vector of length {A.ncols}, got shape {x.shape}")
-    y = _segmented_rowsums(A.row_ptr, A.col_idx, A.val, x)
-    if out is None:
-        return y
-    if out.shape != (A.nrows,):
-        raise ValueError(f"out must have shape ({A.nrows},), got {out.shape}")
-    out[:] = y
-    return out
+    if out is not None:
+        if out.shape != (A.nrows,):
+            raise ValueError(f"out must have shape ({A.nrows},), got {out.shape}")
+        if out.dtype != np.float64:
+            out[:] = _segmented_rowsums(A.row_ptr, A.col_idx, A.val, x)
+            return out
+    return _segmented_rowsums(A.row_ptr, A.col_idx, A.val, x, out=out)
 
 
 def spmv_add(A: "CSRMatrix", x: np.ndarray, out: np.ndarray) -> np.ndarray:

@@ -1,0 +1,115 @@
+"""The benchmark harness, the spMVM suite, and the repro-bench/1 schema."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    BenchResult,
+    TimingStats,
+    spmvm_suite,
+    time_callable,
+    write_results,
+)
+from repro.cli import main
+
+EXPECTED_NAMES = {
+    "spmv", "spmv-out", "spmm-k1", "spmm-k4", "spmm-k16",
+    "distributed-spmv",
+    "distributed-spmm-k1", "distributed-spmm-k4", "distributed-spmm-k16",
+}
+
+
+# ------------------------------------------------------------- harness
+
+
+def test_time_callable_counts_calls():
+    calls = []
+    stats = time_callable(lambda: calls.append(1), warmup=2, repeat=5)
+    assert len(calls) == 7
+    assert len(stats.samples) == 5
+    assert all(s >= 0 for s in stats.samples)
+    assert stats.min <= stats.median <= max(stats.samples)
+    assert stats.min <= stats.mean <= max(stats.samples)
+    assert stats.std >= 0
+
+
+def test_time_callable_validation():
+    with pytest.raises(ValueError):
+        time_callable(lambda: None, warmup=-1)
+    with pytest.raises(ValueError):
+        time_callable(lambda: None, repeat=0)
+
+
+def test_timing_stats_single_sample():
+    s = TimingStats(samples=(0.25,))
+    assert s.min == s.mean == s.median == 0.25
+    assert s.std == 0.0
+    assert s.to_dict() == {"min": 0.25, "mean": 0.25, "median": 0.25, "std": 0.0}
+
+
+def test_bench_result_round_trip():
+    r = BenchResult(
+        name="x", group="kernel", warmup=1, repeat=2,
+        seconds=TimingStats(samples=(1.0, 3.0)),
+        params={"n": 5}, derived={"gflops": 2.0},
+    )
+    d = r.to_dict()
+    assert d["name"] == "x"
+    assert d["seconds"]["mean"] == 2.0
+    assert d["params"] == {"n": 5}
+    assert "gflops" in r.describe()
+    json.dumps(d)  # JSON-serialisable as-is
+
+
+# --------------------------------------------------------------- suite
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return spmvm_suite(quick=True, nrows=300, nranks=2)
+
+
+def test_suite_covers_all_paths(tiny_suite):
+    assert {r.name for r in tiny_suite} == EXPECTED_NAMES
+    assert {r.group for r in tiny_suite} == {"kernel", "distributed"}
+    for r in tiny_suite:
+        assert r.seconds.min > 0
+        assert r.derived["gflops"] > 0
+        assert r.params["nnz"] > 0
+        if "k" in r.params:
+            assert r.derived["seconds_per_column"] == pytest.approx(
+                r.seconds.min / r.params["k"]
+            )
+
+
+def test_write_results_schema(tiny_suite, tmp_path):
+    path = tmp_path / "BENCH_spmvm.json"
+    payload = write_results(tiny_suite, path, quick=True)
+    on_disk = json.loads(path.read_text())
+    assert on_disk == payload
+    assert on_disk["schema"] == BENCH_SCHEMA == "repro-bench/1"
+    assert on_disk["quick"] is True
+    assert on_disk["python"] and on_disk["numpy"] and on_disk["created"]
+    assert {r["name"] for r in on_disk["results"]} == EXPECTED_NAMES
+    for r in on_disk["results"]:
+        assert set(r) == {
+            "name", "group", "params", "warmup", "repeat", "seconds", "derived"
+        }
+        assert set(r["seconds"]) == {"min", "mean", "median", "std"}
+
+
+# ----------------------------------------------------------------- CLI
+
+
+def test_cli_bench_quick(tmp_path, capsys):
+    out = tmp_path / "BENCH_spmvm.json"
+    rc = main(["bench", "--quick", "--output", str(out)])
+    assert rc == 0
+    data = json.loads(out.read_text())
+    assert data["schema"] == "repro-bench/1"
+    assert {r["name"] for r in data["results"]} == EXPECTED_NAMES
+    printed = capsys.readouterr().out
+    assert "distributed-spmm-k16" in printed
+    assert str(out) in printed

@@ -1,0 +1,173 @@
+"""Block (multi-RHS) extension of the code-balance model and simulator.
+
+Covers the k-column generalisation of Eqs. 1-2, the per-phase traffic
+accounting with ``block_k``, and the end-to-end simulator behaviour:
+a batched sweep moves the same halo bytes in 1/k of the messages and
+amortises the matrix-data traffic, so per-MVM time must drop.
+"""
+
+import pytest
+
+from repro.core import build_halo_plan, simulate_spmvm
+from repro.core.costs import phase_costs
+from repro.machine import ranks_for_mode, westmere_cluster
+from repro.model import (
+    block_speedup,
+    code_balance,
+    code_balance_block,
+    code_balance_block_split,
+    code_balance_split,
+)
+from repro.sparse import partition_matrix
+
+NNZRS = [3.0, 7.0, 15.0, 40.0]
+KAPPAS = [0.0, 1.0, 2.5]
+
+
+# ---------------------------------------------------------------- model
+
+
+@pytest.mark.parametrize("nnzr", NNZRS)
+@pytest.mark.parametrize("kappa", KAPPAS)
+def test_block_balance_k1_recovers_eq1_eq2(nnzr, kappa):
+    assert code_balance_block(nnzr, 1, kappa) == code_balance(nnzr, kappa)
+    assert code_balance_block_split(nnzr, 1, kappa) == code_balance_split(nnzr, kappa)
+
+
+@pytest.mark.parametrize("fn", [code_balance_block, code_balance_block_split])
+def test_block_balance_monotone_in_k(fn):
+    vals = [fn(15.0, k, 2.5) for k in (1, 2, 4, 8, 16, 64)]
+    assert all(a > b for a, b in zip(vals, vals[1:]))
+    # only the 6 bytes/flop of matrix data amortise; the per-column
+    # floor remains
+    floor = fn(15.0, 10**9, 2.5)
+    assert floor == pytest.approx(vals[0] - 6.0, rel=1e-6)
+
+
+@pytest.mark.parametrize("split", [False, True])
+def test_block_speedup_properties(split):
+    assert block_speedup(15.0, 1, 2.5, split=split) == 1.0
+    prev = 1.0
+    for k in (2, 4, 16):
+        s = block_speedup(15.0, k, 2.5, split=split)
+        assert s > prev
+        prev = s
+    # bounded by B(1)/per-column-floor
+    limit = code_balance_block_split(15.0, 1) / (code_balance_block_split(15.0, 1) - 6.0) \
+        if split else code_balance_block(15.0, 1) / (code_balance_block(15.0, 1) - 6.0)
+    assert block_speedup(15.0, 10**6, split=split) < limit
+
+
+def test_block_balance_validation():
+    with pytest.raises(ValueError):
+        code_balance_block(15.0, 0)
+    with pytest.raises(ValueError):
+        code_balance_block_split(15.0, -1)
+    with pytest.raises(ValueError):
+        code_balance_block(15.0, 4, kappa=-0.1)
+    with pytest.raises(ValueError):
+        code_balance_block(0.0, 4)
+
+
+# ------------------------------------------------------- phase traffic
+
+
+@pytest.fixture(scope="module")
+def rank_halos(random_300):
+    plan = build_halo_plan(
+        random_300, partition_matrix(random_300, 4), with_matrices=False
+    )
+    return plan.ranks
+
+
+def test_phase_costs_block_k1_is_default(rank_halos):
+    for halo in rank_halos:
+        assert phase_costs(halo, 2.5, block_k=1) == phase_costs(halo, 2.5)
+
+
+@pytest.mark.parametrize("k", [2, 4, 16])
+def test_phase_costs_block_scaling(rank_halos, k):
+    for halo in rank_halos:
+        one = phase_costs(halo, 2.5)
+        blk = phase_costs(halo, 2.5, block_k=k)
+        # gather is pure per-column work: scales exactly with k
+        assert blk.gather == pytest.approx(k * one.gather)
+        # kernel phases amortise the 12 B/nnz matrix stream over the
+        # block: strictly cheaper than k independent sweeps, but at
+        # least the per-column share
+        for phase in ("full_spmv", "local_spmv", "remote_spmv"):
+            b, o = getattr(blk, phase), getattr(one, phase)
+            assert b < k * o
+            assert b > o
+        # the saving is exactly the (k-1) re-streams of the matrix data
+        assert k * one.full_spmv - blk.full_spmv == pytest.approx(
+            (k - 1) * 12.0 * halo.nnz
+        )
+
+
+def test_phase_costs_rejects_bad_block_k(rank_halos):
+    with pytest.raises(ValueError):
+        phase_costs(rank_halos[0], block_k=0)
+
+
+# ----------------------------------------------------------- simulator
+
+
+@pytest.fixture(scope="module")
+def sim_matrix(hmep_tiny):
+    return hmep_tiny
+
+
+def _simulate(matrix, cluster, **kw):
+    kw.setdefault("mode", "per-ld")
+    kw.setdefault("scheme", "task_mode")
+    kw.setdefault("kappa", 2.5)
+    kw.setdefault("iterations", 2)
+    return simulate_spmvm(matrix, cluster, **kw)
+
+
+def test_simulator_block_metadata(sim_matrix):
+    cluster = westmere_cluster(2)
+    nranks = ranks_for_mode(cluster, "per-ld")
+    plan = build_halo_plan(
+        sim_matrix, partition_matrix(sim_matrix, nranks), with_matrices=False
+    )
+    single = _simulate(sim_matrix, cluster)
+    batched = _simulate(sim_matrix, cluster, block_k=8)
+    assert single.block_k == 1
+    assert batched.block_k == 8
+    # same halo bytes per MVM, 1/k of the messages
+    assert batched.comm_bytes_per_mvm == single.comm_bytes_per_mvm
+    assert single.messages_per_mvm == plan.total_messages()
+    assert batched.messages_per_mvm == plan.total_messages() / 8
+    assert "k=8" in batched.describe()
+    assert "k=" not in single.describe()
+
+
+@pytest.mark.parametrize("scheme", ["no_overlap", "naive_overlap", "task_mode"])
+def test_simulator_batched_sweep_amortises(sim_matrix, scheme):
+    cluster = westmere_cluster(2)
+    single = _simulate(sim_matrix, cluster, scheme=scheme)
+    batched = _simulate(sim_matrix, cluster, scheme=scheme, block_k=16)
+    # a k-wide sweep is longer than a single sweep...
+    assert batched.seconds_per_sweep > single.seconds_per_sweep
+    # ...but cheaper per MVM (matrix traffic + latency amortise), so
+    # the reported GFlop/s goes up
+    assert batched.seconds_per_mvm < single.seconds_per_mvm
+    assert batched.gflops > single.gflops
+    # and it can never beat k perfectly-free columns
+    assert batched.seconds_per_sweep > 0
+    assert batched.seconds_per_mvm > single.seconds_per_sweep / 16
+
+
+def test_simulator_moves_k_times_the_bytes(sim_matrix):
+    cluster = westmere_cluster(2)
+    single = _simulate(sim_matrix, cluster, iterations=1)
+    batched = _simulate(sim_matrix, cluster, iterations=1, block_k=4)
+    assert batched.bytes_transferred == pytest.approx(4 * single.bytes_transferred)
+
+
+def test_simulator_rejects_bad_block_k(sim_matrix):
+    cluster = westmere_cluster(2)
+    with pytest.raises(ValueError):
+        _simulate(sim_matrix, cluster, block_k=0)

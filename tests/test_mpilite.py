@@ -1,9 +1,12 @@
 """mpilite runtime: router, point-to-point, collectives, SPMD launcher."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.mpilite import PerRank, Router, run_spmd
+from repro.mpilite.comm import CollectiveState
 
 
 # ----------------------------------------------------------------------
@@ -122,6 +125,85 @@ def test_recv_shape_mismatch_raises():
         run_spmd(2, fn)
 
 
+def test_request_test_completes_inflight_irecv():
+    # regression: test() used to return a flag nothing ever set for an
+    # in-flight irecv, so a poll loop would spin forever even with the
+    # message already in the mailbox
+    def fn(comm):
+        if comm.rank == 0:
+            time.sleep(0.05)
+            comm.Send(np.arange(4.0), 1)
+            return None
+        req = comm.irecv(0)
+        deadline = time.monotonic() + 5.0
+        while not req.test():
+            assert time.monotonic() < deadline, "test() never observed the message"
+            time.sleep(0.005)
+        assert req.test()  # idempotent once complete
+        return req.wait().tolist()
+
+    assert run_spmd(2, fn)[1] == [0, 1, 2, 3]
+
+
+def test_request_test_false_before_message_arrives():
+    def fn(comm):
+        if comm.rank == 1:
+            req = comm.irecv(0)
+            early = req.test()  # nothing sent yet
+            comm.send("go", 0)
+            assert req.wait() == "data"
+            return early
+        comm.recv(1)
+        comm.send("data", 1)
+        return None
+
+    assert run_spmd(2, fn)[1] is False
+
+
+def test_isend_request_test_immediately_true():
+    def fn(comm):
+        if comm.rank == 0:
+            req = comm.isend("x", 1)
+            assert req.test()
+        else:
+            assert comm.recv(0) == "x"
+        return True
+
+    assert all(run_spmd(2, fn))
+
+
+def test_comm_send_copies_buffer_immediately():
+    # the Router docstring promises senders may reuse their buffer the
+    # moment Send/isend returns; pin that at the Comm level
+    def fn(comm):
+        if comm.rank == 0:
+            buf = np.arange(6.0)
+            comm.Send(buf, 1, tag=0)
+            buf[:] = -1.0  # reuse immediately after a blocking-mode send
+            req = comm.isend(buf * 0 + 7.0, 1, tag=1)
+            req.wait()
+            return None
+        first = comm.recv(0, tag=0)
+        second = comm.recv(0, tag=1)
+        return first.tolist(), second.tolist()
+
+    first, second = run_spmd(2, fn)[1]
+    assert first == [0, 1, 2, 3, 4, 5]
+    assert second == [7.0] * 6
+
+
+def test_isend_payload_mutation_after_post():
+    def fn(comm):
+        if comm.rank == 0:
+            buf = np.full(3, 2.0)
+            comm.isend(buf, 1)
+            buf[:] = 99.0  # mutate after the nonblocking post
+            return None
+        return comm.recv(0).tolist()
+
+    assert run_spmd(2, fn)[1] == [2.0, 2.0, 2.0]
+
+
 def test_irecv_isend_waitall():
     def fn(comm):
         peer = 1 - comm.rank
@@ -205,6 +287,36 @@ def test_alltoallv():
     out = run_spmd(3, fn)
     assert out[0] == [(1, 1.0), (2, 2.0)]
     assert out[1] == [(0, 0.0), (2, 2.0)]
+
+
+def test_exchange_result_landing_at_deadline_is_not_a_timeout():
+    # regression: after Condition.wait returned False the code raised
+    # TimeoutError without re-checking whether the result had landed in
+    # the meantime — a notification arriving exactly at the deadline
+    # turned a completed collective into a spurious failure.  Simulate
+    # that interleaving deterministically: the wait call itself deposits
+    # the combined result (as the last rank would, holding the lock while
+    # our timeout expires) and reports a timeout.
+    state = CollectiveState(2)
+
+    def racy_wait(timeout=None):
+        state._slots.pop(0, None)
+        state._results[0] = "combined"
+        state._generation = 1
+        state._arrived = 0
+        return False  # "timed out" — but the result is there
+
+    state._lock.wait = racy_wait
+    assert state.exchange(0, "mine", lambda slots: "combined") == "combined"
+
+
+def test_exchange_genuine_timeout_still_raises(monkeypatch):
+    import repro.mpilite.comm as comm_mod
+
+    monkeypatch.setattr(comm_mod, "_DEFAULT_TIMEOUT", 0.05)
+    state = CollectiveState(2)
+    with pytest.raises(TimeoutError, match="generation 0"):
+        state.exchange(0, 1.0, lambda slots: sum(slots.values()))
 
 
 def test_collectives_mixed_sequence():

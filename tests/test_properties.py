@@ -80,8 +80,9 @@ def test_row_partition_covers_disjointly(nrows, nparts):
 
 
 @settings(max_examples=30, deadline=None)
-@given(n=st.integers(2, 25), nnz=st.integers(1, 150), nparts=st.integers(1, 6), seed=_SEED)
+@given(n=st.integers(1, 25), nnz=st.integers(1, 150), nparts=st.integers(1, 40), seed=_SEED)
 def test_nnz_partition_and_halo_consistency(n, nnz, nparts, seed):
+    # nparts may exceed nrows: surplus parts must come out empty, not crash
     A = _random_coo(n, n, nnz, seed).to_csr()
     part = partition_nnz_balanced(A, nparts)
     plan = build_halo_plan(A, part, with_matrices=True)

@@ -51,6 +51,36 @@ def test_nnz_balanced_covers_all_rows():
         assert int(p.nnz_per_part(A).sum()) == A.nnz
 
 
+def test_nnz_balanced_more_parts_than_rows():
+    # regression: nrows < 2 with nparts > 1 used to crash broadcasting an
+    # empty cuts array into offsets[1:-1]
+    A = random_sparse(1, nnzr=1, seed=0)
+    for nparts in (2, 3, 7):
+        p = partition_nnz_balanced(A, nparts)
+        assert p.nparts == nparts
+        assert p.nrows == 1
+        assert int(p.nnz_per_part(A).sum()) == A.nnz
+        assert p.sizes().tolist() == [1] + [0] * (nparts - 1)
+
+
+def test_nnz_balanced_single_row_single_part():
+    A = random_sparse(1, nnzr=1, seed=0)
+    p = partition_nnz_balanced(A, 1)
+    assert p.offsets.tolist() == [0, 1]
+
+
+def test_nnz_balanced_empty_matrix_many_parts():
+    import numpy as np
+
+    from repro.sparse import CSRMatrix
+
+    A = CSRMatrix(np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64), np.zeros(0), ncols=0)
+    p = partition_nnz_balanced(A, 4)
+    assert p.nparts == 4
+    assert p.nrows == 0
+    assert p.sizes().tolist() == [0, 0, 0, 0]
+
+
 def test_owner_of_and_local_index():
     p = RowPartition(np.array([0, 4, 9, 12]))
     rows = np.array([0, 3, 4, 8, 11])

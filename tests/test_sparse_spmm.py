@@ -1,0 +1,149 @@
+"""Batched multi-RHS kernels: spmm family vs per-column spmv, traffic model."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    spmm,
+    spmm_add,
+    spmm_rows,
+    spmm_traffic,
+    spmv,
+    spmv_traffic,
+)
+
+
+@pytest.fixture()
+def mat_and_block(rng):
+    d = (rng.random((40, 40)) < 0.2) * rng.standard_normal((40, 40))
+    return CSRMatrix.from_dense(d), d, rng.standard_normal((40, 8))
+
+
+def test_spmm_matches_dense(mat_and_block):
+    m, d, X = mat_and_block
+    assert np.allclose(spmm(m, X), d @ X)
+
+
+@pytest.mark.parametrize("k", [1, 4, 16])
+def test_spmm_bit_identical_to_columnwise_spmv(rng, k):
+    d = (rng.random((60, 50)) < 0.15) * rng.standard_normal((60, 50))
+    m = CSRMatrix.from_dense(d)
+    X = rng.standard_normal((50, k))
+    Y = spmm(m, X)
+    assert Y.shape == (60, k)
+    for j in range(k):
+        assert np.array_equal(Y[:, j], spmv(m, X[:, j]))
+
+
+def test_spmm_mixed_magnitudes_column_for_column(rng):
+    # the accuracy acceptance bar: mixed-magnitude entries must not leak
+    # across rows or columns — each column agrees with its spmv to 1e-12
+    n, k = 30, 5
+    d = (rng.random((n, n)) < 0.3) * rng.standard_normal((n, n))
+    d *= 10.0 ** rng.integers(-8, 9, size=(n, n))
+    m = CSRMatrix.from_dense(d)
+    X = rng.standard_normal((n, k))
+    Y = spmm(m, X)
+    for j in range(k):
+        ref = spmv(m, X[:, j])
+        scale = np.maximum(np.abs(ref), 1.0)
+        assert np.all(np.abs(Y[:, j] - ref) / scale < 1e-12)
+
+
+def test_spmm_empty_rows():
+    m = CSRMatrix(np.array([0, 0, 1, 1]), np.array([0]), np.array([3.0]), ncols=2)
+    Y = spmm(m, np.array([[2.0, -1.0], [1.0, 5.0]]))
+    assert Y.tolist() == [[0.0, 0.0], [6.0, -3.0], [0.0, 0.0]]
+
+
+def test_spmm_zero_matrix():
+    m = CSRMatrix(np.zeros(4, dtype=np.int64), np.zeros(0, dtype=np.int64), np.zeros(0), ncols=5)
+    assert np.all(spmm(m, np.ones((5, 3))) == 0)
+
+
+def test_spmm_out_in_place(mat_and_block):
+    m, d, X = mat_and_block
+    out = np.empty((40, 8))
+    res = spmm(m, X, out=out)
+    assert res is out
+    assert np.allclose(out, d @ X)
+
+
+def test_spmm_out_shape_mismatch(mat_and_block):
+    m, _d, X = mat_and_block
+    with pytest.raises(ValueError, match="out must have shape"):
+        spmm(m, X, out=np.empty((40, 3)))
+
+
+def test_spmm_rejects_vector_input(mat_and_block):
+    m, _d, _X = mat_and_block
+    with pytest.raises(ValueError, match="block"):
+        spmm(m, np.ones(40))
+
+
+def test_spmm_add_accumulates(mat_and_block):
+    m, d, X = mat_and_block
+    out = np.ones((40, 8))
+    spmm_add(m, X, out)
+    assert np.allclose(out, 1.0 + d @ X)
+
+
+def test_spmm_rows_partial(mat_and_block):
+    m, d, X = mat_and_block
+    out = np.full((40, 8), -7.0)
+    spmm_rows(m, X, 10, 25, out)
+    assert np.allclose(out[10:25], (d @ X)[10:25])
+    assert np.all(out[:10] == -7.0)
+    assert np.all(out[25:] == -7.0)
+
+
+def test_spmm_rows_bad_range(mat_and_block):
+    m, _d, X = mat_and_block
+    with pytest.raises(ValueError, match="row range"):
+        spmm_rows(m, X, 30, 10, np.zeros((40, 8)))
+
+
+def test_spmm_traffic_reduces_to_spmv_at_k1(mat_and_block):
+    m, _d, _X = mat_and_block
+    for kappa in (0.0, 2.5):
+        for split in (False, True):
+            assert spmm_traffic(m, 1, kappa=kappa, split=split) == pytest.approx(
+                spmv_traffic(m, kappa=kappa, split=split)
+            )
+
+
+def test_spmm_traffic_amortizes_matrix_data(mat_and_block):
+    # the whole point of batching: k x the vector traffic but one matrix read
+    m, _d, _X = mat_and_block
+    for k in (4, 16):
+        assert spmm_traffic(m, k) < k * spmv_traffic(m)
+        # difference is exactly (k-1) matrix reads
+        saved = k * spmv_traffic(m) - spmm_traffic(m, k)
+        assert saved == pytest.approx((k - 1) * 12 * m.nnz)
+
+
+def test_spmm_traffic_validation(mat_and_block):
+    m, _d, _X = mat_and_block
+    with pytest.raises(ValueError, match="k must be"):
+        spmm_traffic(m, 0)
+    with pytest.raises(ValueError, match="kappa"):
+        spmm_traffic(m, 4, kappa=-1.0)
+
+
+def test_spmv_out_written_in_place(mat_and_block):
+    m, d, X = mat_and_block
+    x = X[:, 0].copy()
+    out = np.full(40, np.nan)
+    res = spmv(m, x, out=out)
+    assert res is out
+    assert np.allclose(out, d @ x)
+    # bit-identical to the allocating path
+    assert np.array_equal(out, spmv(m, x))
+
+
+def test_spmv_out_with_empty_rows():
+    m = CSRMatrix(np.array([0, 0, 1, 1]), np.array([0]), np.array([3.0]), ncols=2)
+    out = np.full(3, np.nan)
+    spmv(m, np.array([2.0, 1.0]), out=out)
+    assert out.tolist() == [0.0, 6.0, 0.0]
