@@ -46,6 +46,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         ("kappa", "Sect. 2 κ determination + Eq. 2 split penalty"),
         ("kappa-predict", "predict κ from structure via the LRU cache model"),
         ("commvol", "internode communication volume vs node count"),
+        ("comm-plan", "direct vs node-aware halo-exchange lowering (repro.comm)"),
+        ("comm-plans", "plan accounting + simulated node-aware scaling sweep"),
         ("balance", "load-balancing study (compute vs communication)"),
         ("probe", "Sect. 3 asynchronous-progress probe"),
         ("bench", "timed spMVM micro-benchmarks → BENCH_spmvm.json"),
@@ -171,6 +173,71 @@ def _cmd_commvol(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_comm_plan(args: argparse.Namespace) -> int:
+    """Compare the direct and node-aware lowering of one halo exchange."""
+    from repro.comm import build_comm_plan, compare_plans
+    from repro.core.halo import build_halo_plan
+    from repro.core.runner import simulate_spmvm
+    from repro.experiments.calibration import (
+        REDUCED_EAGER_THRESHOLD,
+        TORUS_MESSAGE_OVERHEAD,
+        kappa_for,
+    )
+    from repro.machine.affinity import plan_placement, ranks_for_mode
+    from repro.machine.presets import cray_xe6_cluster, westmere_cluster
+    from repro.matrices import get_matrix
+    from repro.sparse.partition import partition_matrix
+
+    A = get_matrix(args.matrix, args.scale).build_cached()
+    if args.network == "torus":
+        cluster = cray_xe6_cluster(
+            args.nodes, message_overhead=TORUS_MESSAGE_OVERHEAD
+        )
+    else:
+        cluster = westmere_cluster(args.nodes)
+    nranks = ranks_for_mode(cluster, args.mode)
+    if nranks > A.nrows:
+        print(f"{nranks} ranks exceed the {A.nrows}-row matrix; pick fewer nodes")
+        return 1
+    rank_node = [p.node for p in plan_placement(cluster, args.mode)]
+    halo = build_halo_plan(A, partition_matrix(A, nranks), with_matrices=False)
+    cmp = compare_plans(
+        build_comm_plan(halo, rank_node, "direct"),
+        build_comm_plan(halo, rank_node, "node-aware"),
+    )
+    title = (
+        f"{args.matrix}/{args.scale} on {cluster.name}, {args.mode}, "
+        f"{args.nodes} nodes ({nranks} ranks)"
+    )
+    print(cmp.render(title=title))
+    if args.simulate:
+        print()
+        for kind in ("direct", "node-aware"):
+            r = simulate_spmvm(
+                A, cluster,
+                mode=args.mode,
+                scheme=args.scheme,
+                kappa=kappa_for(args.matrix),
+                comm_plan=kind,
+                eager_threshold=REDUCED_EAGER_THRESHOLD,
+            )
+            print(f"  {kind:>10}: {r.describe()}")
+    return 0
+
+
+def _cmd_comm_plans(args: argparse.Namespace) -> int:
+    from repro.experiments import run_comm_plans
+
+    print(
+        run_comm_plans(
+            args.scale,
+            sweep_nodes=args.sweep_nodes,
+            include_sweep=not args.no_sweep,
+        ).render()
+    )
+    return 0
+
+
 def _cmd_balance(args: argparse.Namespace) -> int:
     from repro.experiments import run_load_balance
 
@@ -267,6 +334,23 @@ def build_parser() -> argparse.ArgumentParser:
                      ("balance", _cmd_balance)):
         p = add(name, fn)
         p.add_argument("--scale", default="small")
+    pc = add("comm-plan", _cmd_comm_plan)
+    pc.add_argument("--matrix", default="HMeP", choices=("HMeP", "HMEp", "sAMG"))
+    pc.add_argument("--scale", default="small")
+    pc.add_argument("--nodes", type=int, default=4)
+    pc.add_argument("--mode", default="per-core",
+                    help="hybrid mode (per-core = pure MPI, the node-aware regime)")
+    pc.add_argument("--network", default="torus", choices=("torus", "fat-tree"))
+    pc.add_argument("--scheme", default="no_overlap",
+                    choices=("no_overlap", "naive_overlap", "task_mode"))
+    pc.add_argument("--simulate", action="store_true",
+                    help="also simulate both lowerings and print GFlop/s")
+    pcs = add("comm-plans", _cmd_comm_plans)
+    pcs.add_argument("--scale", default="small")
+    pcs.add_argument("--sweep-nodes", type=_parse_nodes, default=(1, 2, 4, 8),
+                     help="node counts of the simulated torus sweep")
+    pcs.add_argument("--no-sweep", action="store_true",
+                     help="accounting tables only (skip the simulations)")
     add("probe", _cmd_probe)
     pb = add("bench", _cmd_bench)
     pb.add_argument("--quick", action="store_true",

@@ -1,0 +1,184 @@
+"""Executing a node-aware plan on real data (the mpilite path).
+
+:class:`RankExchange` compiles one rank's duties out of a node-aware
+:class:`~repro.comm.plan.CommPlan` into flat numpy index arrays, so the
+per-sweep work is pure gather/scatter/copy:
+
+* **initial sends** — intra-node direct segments and this rank's gather
+  contributions, packed straight from the owned vector slice;
+* **forward duties** (source-node leader) — wait for the co-located
+  gathers, assemble the deduplicated aggregate, send it to the
+  destination leader;
+* **scatter duties** (destination-node leader) — wait for the forward,
+  fan the per-rank subsets out, keep its own share;
+* **final receives** — direct and scatter segments landing in the halo
+  buffer at explicit positions.
+
+All sends are buffered (mpilite's router copies on ``put``), so the
+dependency chain gather → forward → scatter cannot deadlock regardless
+of the order ranks reach :meth:`finish`.  Every index array works on
+1-D vectors and ``(n, k)`` blocks alike (axis-0 indexing), and since
+the exchange only ever *copies* float64 payloads, results are
+bit-identical to the direct path by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.comm.plan import CommPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.halo import RankHalo
+    from repro.mpilite.comm import Comm, Request
+
+__all__ = ["PLAN_TAG_BASE", "RankExchange"]
+
+#: mpilite tag of channel 0; each plan channel gets its own tag, so the
+#: per-(src, dst, tag) FIFO keeps successive sweeps ordered.
+PLAN_TAG_BASE = 64
+
+
+@dataclass(frozen=True)
+class _ForwardDuty:
+    out_channel: int
+    dst: int
+    size: int
+    own_pos: np.ndarray | None  # positions of the leader's own share
+    own_local: np.ndarray | None  # matching local indices into the owned slice
+    parts: tuple[tuple[int, np.ndarray], ...]  # (gather channel, positions)
+
+
+@dataclass(frozen=True)
+class _ScatterDuty:
+    in_channel: int
+    sends: tuple[tuple[int, int, np.ndarray], ...]  # (dst rank, channel, positions)
+    own: tuple[np.ndarray, np.ndarray] | None  # (positions, halo indices)
+
+
+class RankExchange:
+    """One rank's compiled node-aware exchange (see module docstring)."""
+
+    def __init__(self, plan: CommPlan, halo: "RankHalo") -> None:
+        if plan.kind != "node-aware":
+            raise ValueError(f"RankExchange needs a node-aware plan, got {plan.kind!r}")
+        rank = halo.rank
+        my_node = plan.rank_node[rank]
+        row_lo = halo.row_lo
+        direct_channel = {
+            (m.src, m.dst): m.channel for m in plan.messages if m.phase == "direct"
+        }
+
+        # inbound posts: (channel, source rank), in plan order
+        self._recv_posts = [
+            (ch, plan.messages[ch].src) for ch in plan.scripts[rank].recv_channels
+        ]
+
+        initial: list[tuple[int, int, np.ndarray]] = []  # (dst, channel, local idx)
+        for dst, _count in halo.send_to:
+            if plan.rank_node[dst] == my_node:
+                initial.append((dst, direct_channel[(rank, dst)], halo.send_indices[dst]))
+
+        finals: list[tuple[int, np.ndarray]] = []  # (channel, halo indices)
+        pos = 0
+        for src, count in halo.recv_from:
+            if plan.rank_node[src] == my_node:
+                finals.append(
+                    (direct_channel[(src, rank)], np.arange(pos, pos + count))
+                )
+            pos += count
+
+        forwards: list[_ForwardDuty] = []
+        scatters: list[_ScatterDuty] = []
+        for (src_node, dst_node), edge in plan.edges.items():
+            if src_node == my_node:
+                own_pos = edge.contributors.get(rank)
+                own_local = edge.columns[own_pos] - row_lo if own_pos is not None else None
+                if rank == plan.leaders[src_node]:
+                    if edge.gather_channels:
+                        forwards.append(
+                            _ForwardDuty(
+                                out_channel=edge.forward_channel,
+                                dst=plan.leaders[dst_node],
+                                size=int(edge.columns.size),
+                                own_pos=own_pos,
+                                own_local=own_local,
+                                parts=tuple(
+                                    (ch, edge.contributors[p])
+                                    for p, ch in sorted(edge.gather_channels.items())
+                                ),
+                            )
+                        )
+                    else:
+                        # leader owns the whole aggregate: plain initial send
+                        initial.append(
+                            (
+                                plan.leaders[dst_node],
+                                edge.forward_channel,
+                                edge.columns - row_lo,
+                            )
+                        )
+                elif own_pos is not None:
+                    initial.append(
+                        (plan.leaders[src_node], edge.gather_channels[rank], own_local)
+                    )
+            if dst_node == my_node:
+                entry = edge.consumers.get(rank)
+                if rank == plan.leaders[dst_node]:
+                    scatters.append(
+                        _ScatterDuty(
+                            in_channel=edge.forward_channel,
+                            sends=tuple(
+                                (q, ch, edge.consumers[q][0])
+                                for q, ch in sorted(edge.scatter_channels.items())
+                            ),
+                            own=entry,
+                        )
+                    )
+                elif entry is not None:
+                    finals.append((edge.scatter_channels[rank], entry[1]))
+
+        self._initial_sends = initial
+        self._final_recvs = finals
+        self._forward_duties = forwards
+        self._scatter_duties = scatters
+
+    # ------------------------------------------------------------------
+    def post_receives(self, comm: "Comm") -> dict[int, "Request"]:
+        """Post every inbound message; returns requests keyed by channel."""
+        return {
+            ch: comm.irecv(src, PLAN_TAG_BASE + ch) for ch, src in self._recv_posts
+        }
+
+    def initial_sends(self, comm: "Comm", x: np.ndarray) -> None:
+        """Pack and send everything payload-ready at sweep start."""
+        for dst, ch, idx in self._initial_sends:
+            comm.Send(x[idx], dst, PLAN_TAG_BASE + ch)
+
+    def finish(
+        self,
+        comm: "Comm",
+        x: np.ndarray,
+        reqs: dict[int, "Request"],
+        halo_out: np.ndarray,
+    ) -> None:
+        """Complete relays and land every halo segment in *halo_out*."""
+        for fd in self._forward_duties:
+            agg = np.empty((fd.size,) + x.shape[1:])
+            if fd.own_pos is not None:
+                agg[fd.own_pos] = x[fd.own_local]
+            for ch, pos in fd.parts:
+                agg[pos] = reqs.pop(ch).wait()
+            comm.Send(agg, fd.dst, PLAN_TAG_BASE + fd.out_channel)
+        for sd in self._scatter_duties:
+            agg = reqs.pop(sd.in_channel).wait()
+            for q, ch, pos in sd.sends:
+                comm.Send(agg[pos], q, PLAN_TAG_BASE + ch)
+            if sd.own is not None:
+                pos, halo_idx = sd.own
+                halo_out[halo_idx] = agg[pos]
+        for ch, halo_idx in self._final_recvs:
+            halo_out[halo_idx] = reqs.pop(ch).wait()

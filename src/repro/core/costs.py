@@ -43,7 +43,13 @@ class PhaseCosts:
         return self.local_spmv + self.remote_spmv
 
 
-def phase_costs(halo: RankHalo, kappa: float = 0.0, *, block_k: int = 1) -> PhaseCosts:
+def phase_costs(
+    halo: RankHalo,
+    kappa: float = 0.0,
+    *,
+    block_k: int = 1,
+    gather_elements: int | None = None,
+) -> PhaseCosts:
     """Per-phase traffic of *halo*'s rank for one MVM sweep.
 
     ``full_spmv`` is the Fig. 4a kernel (result written once);
@@ -55,6 +61,10 @@ def phase_costs(halo: RankHalo, kappa: float = 0.0, *, block_k: int = 1) -> Phas
     streamed once per *block*, while gather, RHS, result and the
     ``kappa`` reload term scale with the k columns — the traffic form
     of the block code balance (:func:`repro.model.code_balance_block`).
+
+    ``gather_elements`` overrides the number of RHS elements packed into
+    send buffers — a node-aware communication plan packs deduplicated
+    per-node sets instead of one segment per peer rank.
     """
     if kappa < 0:
         raise ValueError(f"kappa must be >= 0, got {kappa}")
@@ -62,7 +72,8 @@ def phase_costs(halo: RankHalo, kappa: float = 0.0, *, block_k: int = 1) -> Phas
         raise ValueError(f"block_k must be >= 1, got {block_k}")
     k = float(block_k)
     nrows = halo.n_rows
-    gather = GATHER_BYTES_PER_ELEMENT * halo.n_send_elements * k
+    packed = halo.n_send_elements if gather_elements is None else gather_elements
+    gather = GATHER_BYTES_PER_ELEMENT * packed * k
     full = (
         (12.0 + kappa * k) * halo.nnz
         + 16.0 * nrows * k

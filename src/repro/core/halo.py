@@ -43,9 +43,11 @@ class RankHalo:
 
     ``recv_from``/``send_to`` list ``(peer_rank, element_count)`` pairs in
     ascending peer order.  ``halo_columns`` holds the global column index
-    of every halo-buffer slot (ascending — contiguous per source rank).
-    ``send_indices`` maps each destination to the *local* indices of the
-    owned elements to gather for it.
+    of every halo-buffer slot (ascending — contiguous per source rank);
+    it is populated even for metadata-only plans, because communication
+    planning (:mod:`repro.comm`) needs it to deduplicate per-node halo
+    sets.  ``send_indices`` maps each destination to the *local* indices
+    of the owned elements to gather for it.
     """
 
     rank: int
@@ -190,9 +192,8 @@ def build_halo_plan(
         need: dict[int, np.ndarray] = {}
         if remote.size:
             boundaries = np.flatnonzero(np.diff(owners)) + 1
-            for seg_cols, seg_owner in zip(
-                np.split(remote, boundaries), owners[np.r_[0, boundaries]] if remote.size else []
-            ):
+            segment_owners = owners[np.r_[0, boundaries]]
+            for seg_cols, seg_owner in zip(np.split(remote, boundaries), segment_owners):
                 need[int(seg_owner)] = seg_cols
         needs.append(need)
 
@@ -209,7 +210,7 @@ def build_halo_plan(
             nnz_local=nnz_local,
             nnz_remote=nnz_remote,
             recv_from=[(q, int(c.size)) for q, c in sorted(needs[p].items())],
-            halo_columns=halo_cols_per_rank[p] if with_matrices else None,
+            halo_columns=halo_cols_per_rank[p],
             A_local=A_local,
             A_remote=A_remote,
         )
@@ -258,7 +259,10 @@ def cached_halo_plan(
     dead = [k for k, (ref, _p) in _PLAN_CACHE.items() if ref() is None]
     for k in dead:
         del _PLAN_CACHE[k]
-    while len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
-        del _PLAN_CACHE[next(iter(_PLAN_CACHE))]
+    # only evict when actually inserting a new key — refreshing an entry
+    # already present at capacity must not push out a live neighbour
+    if key not in _PLAN_CACHE:
+        while len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+            del _PLAN_CACHE[next(iter(_PLAN_CACHE))]
     _PLAN_CACHE[key] = (weakref.ref(A), plan)
     return plan

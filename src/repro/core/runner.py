@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.comm.plan import PLAN_KINDS, build_comm_plan
+from repro.comm.sim import SimExchange
 from repro.core.costs import phase_costs
 from repro.core.halo import HaloPlan, build_halo_plan
 from repro.core.schemes import SIM_SCHEMES, RankContext, rank_process
@@ -47,6 +49,7 @@ class SimulationResult:
     messages_per_mvm: float
     bytes_transferred: float = 0.0  # actually moved through the simulated MPI
     block_k: int = 1  # right-hand sides per sweep (batched multi-RHS)
+    comm_plan: str = "direct"  # halo-exchange lowering (repro.comm)
     trace: TraceRecorder | None = None
     resource_stats: dict[object, ResourceStats] | None = None
 
@@ -68,10 +71,11 @@ class SimulationResult:
     def describe(self) -> str:
         """One-line summary."""
         batch = f" | k={self.block_k}" if self.block_k > 1 else ""
+        lowering = f" | {self.comm_plan}" if self.comm_plan != "direct" else ""
         return (
             f"{self.scheme:>14} | {self.mode:>8} | {self.n_nodes:3d} nodes "
             f"({self.n_ranks:4d} ranks) | {self.gflops:7.2f} GFlop/s | "
-            f"{self.seconds_per_mvm * 1e3:8.3f} ms/MVM{batch}"
+            f"{self.seconds_per_mvm * 1e3:8.3f} ms/MVM{batch}{lowering}"
         )
 
 
@@ -96,6 +100,7 @@ def simulate_from_plan(
     async_progress: bool = False,
     eager_threshold: int = 16384,
     block_k: int = 1,
+    comm_plan: str = "direct",
     trace: bool = False,
 ) -> SimulationResult:
     """Simulate a prepared halo plan on *cluster*.
@@ -106,9 +111,14 @@ def simulate_from_plan(
     ``block_k > 1`` simulates batched multi-RHS sweeps: each iteration
     applies the operator to k right-hand sides, with one k-column halo
     message per peer (same message count, k× payload) and block-kernel
-    memory traffic.
+    memory traffic.  ``comm_plan`` picks the halo-exchange lowering
+    (:mod:`repro.comm`): ``"direct"`` replays one message per rank pair,
+    ``"node-aware"`` aggregates inter-node traffic through per-node
+    leader ranks (gather/forward/scatter, priced on the ``intra_*``
+    resources and the NIC/torus respectively).
     """
     check_in(scheme, SIM_SCHEMES, "scheme")
+    check_in(comm_plan, PLAN_KINDS, "comm_plan")
     check_positive_int(iterations, "iterations")
     check_positive_int(block_k, "block_k")
     if scheme == "task_mode" and comm_thread is None:
@@ -126,25 +136,33 @@ def simulate_from_plan(
     resources.update(_build_membus_resources(cluster))
     net = FlowNetwork(sim, resources)
     recorder = TraceRecorder() if trace else None
+    rank_node = [p.node for p in placements]
     mpi = SimMPI(
         sim,
         net,
         cluster.network,
-        rank_node=[p.node for p in placements],
+        rank_node=rank_node,
         config=MPIConfig(eager_threshold=eager_threshold, async_progress=async_progress),
         trace=recorder,
+        n_nodes=cluster.n_nodes,
     )
+    cplan = build_comm_plan(plan, rank_node, kind=comm_plan)
     contexts = []
     for placement, halo in zip(placements, plan.ranks):
+        script = cplan.scripts[placement.rank]
         ctx = RankContext(
             sim=sim,
             net=net,
             mpi=mpi,
             placement=placement,
             halo=halo,
-            costs=phase_costs(halo, kappa, block_k=block_k),
+            costs=phase_costs(
+                halo, kappa, block_k=block_k,
+                gather_elements=script.n_packed_elements,
+            ),
             trace=recorder,
             block_k=block_k,
+            comm=SimExchange(cplan, placement.rank),
         )
         contexts.append(ctx)
         sim.spawn(rank_process(ctx, scheme, iterations), name=f"rank{placement.rank}")
@@ -161,9 +179,10 @@ def simulate_from_plan(
         comm_bytes_per_mvm=plan.total_comm_bytes(),
         # the same halo bytes move per MVM, but a batched sweep needs
         # only 1/k of the messages — the latency amortisation
-        messages_per_mvm=plan.total_messages() / block_k,
+        messages_per_mvm=cplan.total_messages() / block_k,
         bytes_transferred=mpi.bytes_transferred,
         block_k=block_k,
+        comm_plan=comm_plan,
         trace=recorder,
         resource_stats=net.resource_stats(),
     )

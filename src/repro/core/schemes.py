@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator
 
+from repro.comm.sim import SimExchange
 from repro.core.costs import PhaseCosts
 from repro.core.halo import RankHalo
 from repro.frame.core import Simulator
@@ -53,6 +54,9 @@ class RankContext:
     barrier_seconds: float = OMP_BARRIER_SECONDS
     #: right-hand sides per sweep; halo messages carry k columns each
     block_k: int = 1
+    #: plan replay driver (repro.comm); None falls back to the classic
+    #: one-message-per-peer exchange straight off the halo lists
+    comm: SimExchange | None = None
     finish_times: list[float] = field(default_factory=list)
 
     @property
@@ -105,6 +109,8 @@ class RankContext:
 
 
 def _post_receives(ctx: RankContext, tag: int) -> list:
+    if ctx.comm is not None:
+        return ctx.comm.post_receives(ctx, tag)
     # one message per peer per sweep; a batched sweep carries all
     # block_k columns of the segment in that single message
     return [
@@ -113,6 +119,8 @@ def _post_receives(ctx: RankContext, tag: int) -> list:
     ]
 
 def _post_sends(ctx: RankContext, tag: int) -> list:
+    if ctx.comm is not None:
+        return ctx.comm.post_sends(ctx, tag)
     return [
         ctx.mpi.isend(ctx.rank, dst, 8 * ctx.block_k * count, tag)
         for dst, count in ctx.halo.send_to

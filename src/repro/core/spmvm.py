@@ -38,6 +38,8 @@ import threading
 
 import numpy as np
 
+from repro.comm.exec import RankExchange
+from repro.comm.plan import PLAN_KINDS, CommPlan, cached_comm_plan
 from repro.core.halo import RankHalo, cached_halo_plan
 from repro.mpilite.comm import Comm
 from repro.sparse.csr import CSRMatrix
@@ -70,15 +72,30 @@ class DistributedSpMVM:
     halo:
         This rank's piece of the communication plan (must carry the
         local/remote sub-matrices, i.e. built ``with_matrices=True``).
+    comm_plan:
+        Optional :class:`~repro.comm.plan.CommPlan` lowering of the halo
+        exchange.  ``None`` or a ``"direct"`` plan use the classic
+        one-message-per-peer path; a ``"node-aware"`` plan routes
+        inter-node traffic through per-node leader ranks (gather →
+        forward → scatter, :mod:`repro.comm`).  Results are
+        bit-identical either way — the exchange only copies float64
+        payloads, never reorders arithmetic.
     """
 
-    def __init__(self, comm: Comm, halo: RankHalo) -> None:
+    def __init__(
+        self, comm: Comm, halo: RankHalo, comm_plan: CommPlan | None = None
+    ) -> None:
         if halo.A_local is None or halo.A_remote is None:
             raise ValueError("RankHalo lacks sub-matrices; build plan with_matrices=True")
         if halo.rank != comm.rank:
             raise ValueError(f"halo is for rank {halo.rank}, communicator is rank {comm.rank}")
         self.comm = comm
         self.halo = halo
+        self._exchange = (
+            RankExchange(comm_plan, halo)
+            if comm_plan is not None and comm_plan.kind == "node-aware"
+            else None
+        )
         self._halo_buf = np.empty(halo.n_halo)
         self._halo_offsets = self._build_offsets()
         # per-peer send buffers, refilled in place every MVM (the router
@@ -125,6 +142,8 @@ class DistributedSpMVM:
                 f"x_local must have shape ({self.halo.n_rows},), got {x_local.shape}"
             )
         self.iterations += 1
+        if self._exchange is not None:
+            return self._multiply_plan(x_local, scheme)
         if scheme == "no_overlap":
             return self._multiply_no_overlap(x_local)
         if scheme == "naive_overlap":
@@ -148,6 +167,8 @@ class DistributedSpMVM:
             )
         self.iterations += 1
         halo_block, send_blocks = self._block_buffers(X_local.shape[1])
+        if self._exchange is not None:
+            return self._multiply_block_plan(X_local, scheme, halo_block)
         if scheme == "no_overlap":
             return self._multiply_block_no_overlap(X_local, halo_block, send_blocks)
         if scheme == "naive_overlap":
@@ -240,6 +261,65 @@ class DistributedSpMVM:
         spmm_add(self.halo.A_remote, self._halo_block_view(halo_block, X.shape[1]), out=Y)
         return Y
 
+    # -- plan replay (node-aware lowering, repro.comm) -----------------
+    def _multiply_plan(self, x: np.ndarray, scheme: str) -> np.ndarray:
+        ex, comm = self._exchange, self.comm
+        reqs = ex.post_receives(comm)
+        if scheme == "no_overlap":
+            ex.initial_sends(comm, x)
+            ex.finish(comm, x, reqs, self._halo_buf)
+            y = spmv(self.halo.A_local, x)
+        elif scheme == "naive_overlap":
+            ex.initial_sends(comm, x)
+            y = spmv(self.halo.A_local, x)  # the intended overlap window
+            ex.finish(comm, x, reqs, self._halo_buf)
+        else:  # task_mode: the comm thread packs, relays and completes
+            y = self._run_comm_thread(
+                lambda: (ex.initial_sends(comm, x), ex.finish(comm, x, reqs, self._halo_buf)),
+                lambda: spmv(self.halo.A_local, x),
+            )
+        spmv_add(self.halo.A_remote, self._halo_view(), out=y)
+        return y
+
+    def _multiply_block_plan(
+        self, X: np.ndarray, scheme: str, halo_block: np.ndarray
+    ) -> np.ndarray:
+        ex, comm = self._exchange, self.comm
+        reqs = ex.post_receives(comm)
+        if scheme == "no_overlap":
+            ex.initial_sends(comm, X)
+            ex.finish(comm, X, reqs, halo_block)
+            Y = spmm(self.halo.A_local, X)
+        elif scheme == "naive_overlap":
+            ex.initial_sends(comm, X)
+            Y = spmm(self.halo.A_local, X)  # the intended overlap window
+            ex.finish(comm, X, reqs, halo_block)
+        else:  # task_mode
+            Y = self._run_comm_thread(
+                lambda: (ex.initial_sends(comm, X), ex.finish(comm, X, reqs, halo_block)),
+                lambda: spmm(self.halo.A_local, X),
+            )
+        spmm_add(self.halo.A_remote, self._halo_block_view(halo_block, X.shape[1]), out=Y)
+        return Y
+
+    def _run_comm_thread(self, comm_fn, compute_fn) -> np.ndarray:
+        """Fig. 4c skeleton: *comm_fn* on a dedicated thread, *compute_fn* here."""
+        error: list[BaseException] = []
+
+        def comm_worker() -> None:
+            try:
+                comm_fn()
+            except BaseException as exc:  # noqa: BLE001
+                error.append(exc)
+
+        t = threading.Thread(target=comm_worker, name=f"comm-thread-{self.comm.rank}")
+        t.start()
+        result = compute_fn()
+        t.join()
+        if error:
+            raise RuntimeError(f"communication thread failed: {error[0]!r}") from error[0]
+        return result
+
     # ------------------------------------------------------------------
     def _post_receives(self) -> list[tuple[int, object]]:
         return [
@@ -310,6 +390,22 @@ def gather_vector(pieces: list[np.ndarray]) -> np.ndarray:
     return np.concatenate(pieces) if pieces else np.zeros(0)
 
 
+def _lower_comm_plan(plan, nranks: int, comm_plan: str, ranks_per_node: int):
+    """Resolve the drivers' ``comm_plan``/``ranks_per_node`` arguments.
+
+    Returns ``None`` for the classic direct path (no plan object needed)
+    or a cached node-aware :class:`~repro.comm.plan.CommPlan` for the
+    rank-major placement ``node(r) = r // ranks_per_node``.
+    """
+    check_in(comm_plan, PLAN_KINDS, "comm_plan")
+    if ranks_per_node < 1:
+        raise ValueError(f"ranks_per_node must be >= 1, got {ranks_per_node}")
+    if comm_plan == "direct":
+        return None
+    rank_node = [r // ranks_per_node for r in range(nranks)]
+    return cached_comm_plan(plan, rank_node, kind="node-aware")
+
+
 def distributed_spmv(
     A: CSRMatrix,
     x: np.ndarray,
@@ -318,6 +414,8 @@ def distributed_spmv(
     scheme: str = "task_mode",
     strategy: str = "nnz",
     iterations: int = 1,
+    comm_plan: str = "direct",
+    ranks_per_node: int = 1,
 ) -> np.ndarray:
     """Compute ``A @ x`` on *nranks* mpilite ranks (the integration driver).
 
@@ -327,14 +425,20 @@ def distributed_spmv(
     input requires a square operator and matching partition — here each
     iteration re-multiplies the same ``x`` to exercise repeated
     communication), and reassembles the global result.
+
+    ``comm_plan`` selects the halo-exchange lowering (:mod:`repro.comm`);
+    ``"node-aware"`` aggregates inter-node messages through per-node
+    leaders, with nodes assigned rank-major from *ranks_per_node*.
+    Results are bit-identical across lowerings.
     """
     from repro.mpilite.world import PerRank, run_spmd
 
     check_in(scheme, SCHEMES, "scheme")
     plan = cached_halo_plan(A, nranks, strategy=strategy, with_matrices=True)
+    cplan = _lower_comm_plan(plan, nranks, comm_plan, ranks_per_node)
 
     def rank_fn(comm: Comm, halo: RankHalo) -> np.ndarray:
-        engine = DistributedSpMVM(comm, halo)
+        engine = DistributedSpMVM(comm, halo, comm_plan=cplan)
         x_local = scatter_vector(x, plan.partition, comm.rank)
         y_local = engine.multiply(x_local, scheme)
         for _ in range(iterations - 1):
@@ -354,11 +458,14 @@ def distributed_spmm(
     scheme: str = "task_mode",
     strategy: str = "nnz",
     iterations: int = 1,
+    comm_plan: str = "direct",
+    ranks_per_node: int = 1,
 ) -> np.ndarray:
     """Compute the block product ``A @ X`` on *nranks* mpilite ranks.
 
     The batched twin of :func:`distributed_spmv`: one halo exchange (one
-    message per peer) serves all ``X.shape[1]`` right-hand sides.
+    message per peer) serves all ``X.shape[1]`` right-hand sides.  See
+    :func:`distributed_spmv` for ``comm_plan``/``ranks_per_node``.
     """
     from repro.mpilite.world import PerRank, run_spmd
 
@@ -367,9 +474,10 @@ def distributed_spmm(
     if X.ndim != 2:
         raise ValueError(f"X must be a 2-D block, got shape {X.shape}")
     plan = cached_halo_plan(A, nranks, strategy=strategy, with_matrices=True)
+    cplan = _lower_comm_plan(plan, nranks, comm_plan, ranks_per_node)
 
     def rank_fn(comm: Comm, halo: RankHalo) -> np.ndarray:
-        engine = DistributedSpMVM(comm, halo)
+        engine = DistributedSpMVM(comm, halo, comm_plan=cplan)
         X_local = scatter_vector(X, plan.partition, comm.rank)
         Y_local = engine.multiply_block(X_local, scheme)
         for _ in range(iterations - 1):

@@ -4,7 +4,14 @@ from repro.experiments.calibration import (
     DEFAULT_NODE_COUNTS,
     KAPPA,
     REDUCED_EAGER_THRESHOLD,
+    TORUS_MESSAGE_OVERHEAD,
     kappa_for,
+)
+from repro.experiments.comm_plans import (
+    CommPlansResult,
+    PlanScalingPoint,
+    PlanStatRow,
+    run_comm_plans,
 )
 from repro.experiments.comm_volume import CommVolumeResult, VolumeRow, run_comm_volume
 from repro.experiments.fig1 import Fig1Result, run_fig1
@@ -42,6 +49,11 @@ __all__ = [
     "run_load_balance",
     "KappaPredictionResult",
     "run_kappa_prediction",
+    "TORUS_MESSAGE_OVERHEAD",
+    "CommPlansResult",
+    "PlanScalingPoint",
+    "PlanStatRow",
+    "run_comm_plans",
     "CommVolumeResult",
     "VolumeRow",
     "run_comm_volume",

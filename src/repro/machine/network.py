@@ -52,9 +52,26 @@ class Interconnect:
     latency: float
     intra_latency: float = 0.6e-6
     intra_bandwidth: float = 5.0e9
+    #: NIC occupancy per *message* (seconds): the injection-rate limit of
+    #: the network adapter.  Start-up latency is pipelined across
+    #: concurrent messages, but a NIC processes message descriptors
+    #: serially, so a rank pair exchanging many small messages is bounded
+    #: by the NIC's message rate — the effect node-aware communication
+    #: plans exploit (PAPERS.md: Bienz, Gropp & Olson).  0 (the default)
+    #: keeps the pure bytes-only model.  Intra-node transports are not
+    #: charged: their per-message cost is an order of magnitude below the
+    #: NIC's and is already represented by ``intra_latency``.
+    message_overhead: float = 0.0
 
-    def route(self, nbytes: float, src_node: int, dst_node: int) -> Route:
-        """Resource demands for an *nbytes* transfer between two node ids."""
+    def route(
+        self, nbytes: float, src_node: int, dst_node: int, n_nodes: int | None = None
+    ) -> Route:
+        """Resource demands for an *nbytes* transfer between two node ids.
+
+        ``n_nodes`` is the machine size the transfer runs on; topologies
+        whose routing depends on it (the torus) require it, point-to-point
+        models (the fat tree) ignore it.
+        """
         raise NotImplementedError
 
     def resources(self, n_nodes: int) -> dict[ResourceKey, Callable[[float], float]]:
@@ -94,13 +111,18 @@ class FatTree(Interconnect):
     def __post_init__(self) -> None:
         check_positive_float(self.link_bandwidth, "link_bandwidth")
         check_positive_float(self.latency, "latency")
+        if self.message_overhead < 0:
+            raise ValueError(f"message_overhead must be >= 0, got {self.message_overhead}")
 
-    def route(self, nbytes: float, src_node: int, dst_node: int) -> Route:
+    def route(
+        self, nbytes: float, src_node: int, dst_node: int, n_nodes: int | None = None
+    ) -> Route:
         if src_node == dst_node:
             return self._intra_route(nbytes, src_node)
+        nic = float(nbytes) + self.message_overhead * self.link_bandwidth
         return Route(
             self.latency,
-            ((("nic_out", src_node), float(nbytes)), (("nic_in", dst_node), float(nbytes))),
+            ((("nic_out", src_node), nic), (("nic_in", dst_node), nic)),
         )
 
     def resources(self, n_nodes: int) -> dict[ResourceKey, Callable[[float], float]]:
@@ -130,6 +152,8 @@ class Torus2D(Interconnect):
         check_positive_float(self.link_bandwidth, "link_bandwidth")
         check_positive_float(self.latency, "latency")
         check_fraction(self.background_load, "background_load")
+        if self.message_overhead < 0:
+            raise ValueError(f"message_overhead must be >= 0, got {self.message_overhead}")
 
     @staticmethod
     def dims(n_nodes: int) -> tuple[int, int]:
@@ -147,31 +171,25 @@ class Torus2D(Interconnect):
         ddy = min(abs(sy - dy), h - abs(sy - dy))
         return max(1, ddx + ddy)
 
-    def route(self, nbytes: float, src_node: int, dst_node: int) -> Route:
+    def route(
+        self, nbytes: float, src_node: int, dst_node: int, n_nodes: int | None = None
+    ) -> Route:
         if src_node == dst_node:
             return self._intra_route(nbytes, src_node)
-        # n_nodes is unknown at routing time only if resources were never
-        # built; the simulator passes consistent node ids, so infer lazily:
-        n = self._n_nodes
-        hops = self.hops(src_node, dst_node, n)
+        if n_nodes is None:
+            raise ValueError("Torus2D.route() needs n_nodes (hop count depends on it)")
+        hops = self.hops(src_node, dst_node, n_nodes)
+        nic = float(nbytes) + self.message_overhead * self.link_bandwidth
         return Route(
             self.latency,
             (
-                (("nic_out", src_node), float(nbytes)),
-                (("nic_in", dst_node), float(nbytes)),
+                (("nic_out", src_node), nic),
+                (("nic_in", dst_node), nic),
                 (("torus_links",), float(nbytes) * hops),
             ),
         )
 
-    @property
-    def _n_nodes(self) -> int:
-        n = getattr(self, "_n_nodes_cache", None)
-        if n is None:
-            raise RuntimeError("Torus2D.resources() must be called before route()")
-        return n
-
     def resources(self, n_nodes: int) -> dict[ResourceKey, Callable[[float], float]]:
-        object.__setattr__(self, "_n_nodes_cache", n_nodes)
         out: dict[ResourceKey, Callable[[float], float]] = {}
         for n in range(n_nodes):
             out[("nic_out", n)] = _const(self.link_bandwidth)

@@ -126,22 +126,38 @@ def magny_cours_node() -> NodeSpec:
     )
 
 
-def westmere_cluster(n_nodes: int = 32) -> ClusterSpec:
-    """The paper's Westmere cluster: QDR IB nonblocking fat tree."""
+def westmere_cluster(n_nodes: int = 32, *, message_overhead: float = 0.0) -> ClusterSpec:
+    """The paper's Westmere cluster: QDR IB nonblocking fat tree.
+
+    ``message_overhead`` (seconds of NIC occupancy per message) models
+    the adapter's injection-rate limit; 0 keeps the bytes-only model.
+    """
     return ClusterSpec(
         name="Westmere/QDR-IB cluster",
         node=westmere_ep_node(),
         n_nodes=n_nodes,
-        network=FatTree(latency=1.5e-6, link_bandwidth=gb_per_s(3.2)),
+        network=FatTree(
+            latency=1.5e-6,
+            link_bandwidth=gb_per_s(3.2),
+            message_overhead=message_overhead,
+        ),
     )
 
 
-def cray_xe6_cluster(n_nodes: int = 32, *, background_load: float = 0.35) -> ClusterSpec:
+def cray_xe6_cluster(
+    n_nodes: int = 32,
+    *,
+    background_load: float = 0.35,
+    message_overhead: float = 0.0,
+) -> ClusterSpec:
     """The paper's Cray XE6: Gemini 2-D torus, shared with other jobs.
 
     ``background_load`` models the machine-load/job-topology sensitivity
     the paper observed; 0.35 reproduces the reported behaviour (on par
     with Westmere for pure MPI on HMeP, behind it at scale).
+    ``message_overhead`` (seconds of NIC occupancy per message) models
+    Gemini's small-message injection-rate limit; 0 keeps the bytes-only
+    model (see :class:`repro.machine.network.Interconnect`).
     """
     return ClusterSpec(
         name="Cray XE6 (Gemini torus)",
@@ -151,6 +167,7 @@ def cray_xe6_cluster(n_nodes: int = 32, *, background_load: float = 0.35) -> Clu
             latency=1.4e-6,
             link_bandwidth=gb_per_s(6.0),
             background_load=background_load,
+            message_overhead=message_overhead,
         ),
     )
 

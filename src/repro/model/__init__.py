@@ -1,4 +1,9 @@
-"""Node-level performance models: code balance (Eqs. 1-2), STREAM, roofline."""
+"""Node-level performance models: code balance (Eqs. 1-2), STREAM, roofline.
+
+Communication-plan statistics (:mod:`repro.comm`) are re-exported here
+lazily so modelling code can say ``from repro.model import plan_stats``
+without this package importing the comm subsystem at startup (and
+without an import cycle — ``repro.comm`` consumers include the core)."""
 
 from repro.model.cache import (
     CacheConfig,
@@ -28,7 +33,34 @@ from repro.model.stream import (
     triad_traffic,
 )
 
+#: Names resolved lazily from :mod:`repro.comm` (PEP 562).
+_COMM_EXPORTS = (
+    "PlanStats",
+    "PlanComparison",
+    "plan_stats",
+    "compare_plans",
+    "predicted_exchange_seconds",
+)
+
+
+def __getattr__(name: str):
+    if name in _COMM_EXPORTS:
+        import repro.comm as _comm
+
+        return getattr(_comm, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_COMM_EXPORTS))
+
+
 __all__ = [
+    "PlanStats",
+    "PlanComparison",
+    "plan_stats",
+    "compare_plans",
+    "predicted_exchange_seconds",
     "CacheConfig",
     "KappaPrediction",
     "predict_kappa",

@@ -25,7 +25,7 @@ from repro.obs.analysis import (
     transfer_segments,
 )
 from repro.obs.chrome import chrome_trace_events, to_chrome_trace, write_chrome_trace
-from repro.obs.metrics import simulation_metrics
+from repro.obs.metrics import comm_phase_messages, simulation_metrics
 from repro.obs.summary import phase_summary
 
 __all__ = [
@@ -38,5 +38,6 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "simulation_metrics",
+    "comm_phase_messages",
     "phase_summary",
 ]

@@ -15,9 +15,11 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro.comm.plan import PHASES
 from repro.core.runner import SimulationResult
+from repro.frame.trace import TraceRecorder
 
-__all__ = ["simulation_metrics"]
+__all__ = ["simulation_metrics", "comm_phase_messages"]
 
 #: Structured-event names folded into ``mpi.<name>`` counters.
 _MPI_EVENT_NAMES = (
@@ -30,6 +32,21 @@ _MPI_EVENT_NAMES = (
     "gate_open",
     "gate_close",
 )
+
+
+def comm_phase_messages(trace: TraceRecorder) -> dict[str, int]:
+    """Posted *send* counts per communication-plan phase.
+
+    Messages posted without a ``phase`` label (the legacy per-peer
+    exchange) count as ``direct``, so direct-plan and pre-plan traces
+    report identically.  Keys cover all of :data:`repro.comm.plan.PHASES`.
+    """
+    counts = Counter(
+        ev.args.get("phase", "direct")
+        for ev in trace.events
+        if ev.name == "msg_posted" and ev.args.get("kind") == "send"
+    )
+    return {phase: int(counts.get(phase, 0)) for phase in PHASES}
 
 
 def simulation_metrics(result: SimulationResult) -> dict[str, float]:
@@ -50,6 +67,8 @@ def simulation_metrics(result: SimulationResult) -> dict[str, float]:
         counts = Counter(ev.name for ev in result.trace.events if ev.category == "mpi")
         for name in _MPI_EVENT_NAMES:
             m[f"mpi.{name}"] = float(counts.get(name, 0))
+        for phase, n in comm_phase_messages(result.trace).items():
+            m[f"comm.phase.{phase}.messages"] = float(n)
         m["trace.intervals"] = float(len(result.trace.intervals))
         m["trace.events"] = float(len(result.trace.events))
         barriers = [ev for ev in result.trace.events if ev.category == "barrier"]

@@ -112,11 +112,15 @@ class SimMPI:
         rank_node: list[int],
         config: MPIConfig | None = None,
         trace: TraceRecorder | None = None,
+        n_nodes: int | None = None,
     ) -> None:
         self._sim = sim
         self._net = net
         self._icn = interconnect
         self._rank_node = list(rank_node)
+        # machine size for topology-dependent routing (torus hop counts);
+        # defaults to the span of the placed ranks
+        self._n_nodes = n_nodes if n_nodes is not None else max(self._rank_node) + 1
         self.config = config or MPIConfig()
         self.trace = trace
         self._depth = [0] * len(rank_node)
@@ -145,14 +149,21 @@ class SimMPI:
     # ------------------------------------------------------------------
     # point-to-point
     # ------------------------------------------------------------------
-    def isend(self, src: int, dst: int, nbytes: int, tag: int = 0) -> SimRequest:
-        """Post a nonblocking send of *nbytes* from *src* to *dst*."""
+    def isend(
+        self, src: int, dst: int, nbytes: int, tag: int = 0, phase: str | None = None
+    ) -> SimRequest:
+        """Post a nonblocking send of *nbytes* from *src* to *dst*.
+
+        ``phase`` labels the message's role in a communication plan
+        (``direct``/``gather``/``forward``/``scatter``) in the trace.
+        """
         nbytes = check_nonnegative_int(nbytes, "nbytes")
         req = SimRequest("send", src, dst, tag, nbytes)
         key = (src, dst, tag)
         self._emit(
             f"rank{src}", "msg_posted", kind="send",
             src=src, dst=dst, tag=tag, nbytes=nbytes,
+            **({"phase": phase} if phase is not None else {}),
         )
         queue = self._pending_recv.get(key)
         if queue:
@@ -169,7 +180,9 @@ class SimMPI:
         self.messages_sent += 1
         return req
 
-    def irecv(self, dst: int, src: int, nbytes: int, tag: int = 0) -> SimRequest:
+    def irecv(
+        self, dst: int, src: int, nbytes: int, tag: int = 0, phase: str | None = None
+    ) -> SimRequest:
         """Post a nonblocking receive at *dst* for a message from *src*."""
         nbytes = check_nonnegative_int(nbytes, "nbytes")
         req = SimRequest("recv", src, dst, tag, nbytes)
@@ -177,6 +190,7 @@ class SimMPI:
         self._emit(
             f"rank{dst}", "msg_posted", kind="recv",
             src=src, dst=dst, tag=tag, nbytes=nbytes,
+            **({"phase": phase} if phase is not None else {}),
         )
         queue = self._pending_send.get(key)
         if queue:
@@ -281,7 +295,7 @@ class SimMPI:
         """
         src_node = self._rank_node[0]
         dst_node = self._rank_node[-1]
-        probe = self._icn.route(1.0, src_node, dst_node)
+        probe = self._icn.route(1.0, src_node, dst_node, self._n_nodes)
         capacities = []
         for key, _demand in probe.demands:
             try:
@@ -305,7 +319,8 @@ class SimMPI:
         assert send is not None
         eager = send.nbytes <= self.config.eager_threshold
         route = self._icn.route(
-            max(1, send.nbytes), self.node_of(send.src), self.node_of(send.dst)
+            max(1, send.nbytes), self.node_of(send.src), self.node_of(send.dst),
+            self._n_nodes,
         )
         gated = not eager and not self.config.async_progress
 

@@ -16,7 +16,7 @@ from repro.cli import main
 
 EXPECTED_NAMES = {
     "spmv", "spmv-out", "spmm-k1", "spmm-k4", "spmm-k16",
-    "distributed-spmv",
+    "distributed-spmv", "distributed-spmv-nodeaware",
     "distributed-spmm-k1", "distributed-spmm-k4", "distributed-spmm-k16",
 }
 

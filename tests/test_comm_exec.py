@@ -1,0 +1,102 @@
+"""Node-aware plan execution on mpilite: bit-identical to the direct path."""
+
+import numpy as np
+import pytest
+
+from repro.comm import RankExchange, build_comm_plan
+from repro.core.halo import build_halo_plan, cached_halo_plan
+from repro.core.spmvm import (
+    SCHEMES,
+    DistributedSpMVM,
+    distributed_spmm,
+    distributed_spmv,
+)
+from repro.matrices import random_sparse
+from repro.sparse import partition_matrix
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("nranks,ranks_per_node", [(6, 2), (8, 4)])
+def test_node_aware_spmv_bit_identical(hmep_tiny, rng, scheme, nranks, ranks_per_node):
+    x = rng.standard_normal(hmep_tiny.nrows)
+    direct = distributed_spmv(hmep_tiny, x, nranks, scheme=scheme)
+    na = distributed_spmv(
+        hmep_tiny, x, nranks, scheme=scheme,
+        comm_plan="node-aware", ranks_per_node=ranks_per_node,
+    )
+    assert np.array_equal(direct, na)  # bit-identical, not just close
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_node_aware_spmv_samg_and_random(samg_tiny, rng, scheme):
+    for A in (samg_tiny, random_sparse(500, nnzr=9, seed=5)):
+        x = rng.standard_normal(A.nrows)
+        direct = distributed_spmv(A, x, 6, scheme=scheme)
+        na = distributed_spmv(
+            A, x, 6, scheme=scheme, comm_plan="node-aware", ranks_per_node=3
+        )
+        assert np.array_equal(direct, na)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("k", [1, 3, 8])
+def test_node_aware_block_bit_identical(hmep_tiny, rng, scheme, k):
+    X = rng.standard_normal((hmep_tiny.nrows, k))
+    direct = distributed_spmm(hmep_tiny, X, 6, scheme=scheme)
+    na = distributed_spmm(
+        hmep_tiny, X, 6, scheme=scheme, comm_plan="node-aware", ranks_per_node=2
+    )
+    assert np.array_equal(direct, na)
+
+
+def test_node_aware_repeated_iterations(hmep_tiny, rng):
+    # sweep tags keep successive exchanges ordered through the relays
+    x = rng.standard_normal(hmep_tiny.nrows)
+    direct = distributed_spmv(hmep_tiny, x, 4, scheme="task_mode", iterations=3)
+    na = distributed_spmv(
+        hmep_tiny, x, 4, scheme="task_mode", iterations=3,
+        comm_plan="node-aware", ranks_per_node=2,
+    )
+    assert np.array_equal(direct, na)
+
+
+def test_rank_exchange_requires_node_aware_plan():
+    A = random_sparse(200, nnzr=5, seed=9)
+    plan = cached_halo_plan(A, 4, with_matrices=True)
+    direct = build_comm_plan(plan, (0, 0, 1, 1), "direct")
+    with pytest.raises(ValueError, match="node-aware"):
+        RankExchange(direct, plan.ranks[0])
+
+
+def test_driver_validates_comm_plan_args(hmep_tiny, rng):
+    x = rng.standard_normal(hmep_tiny.nrows)
+    with pytest.raises(ValueError, match="comm_plan"):
+        distributed_spmv(hmep_tiny, x, 4, comm_plan="bogus")
+    with pytest.raises(ValueError, match="ranks_per_node"):
+        distributed_spmv(hmep_tiny, x, 4, comm_plan="node-aware", ranks_per_node=0)
+
+
+def test_exchange_handles_uneven_node_sizes(rng):
+    # 5 ranks on 2 nodes (3 + 2): leaders, gathers and scatters with
+    # asymmetric group sizes
+    A = random_sparse(300, nnzr=8, seed=13)
+    x = rng.standard_normal(A.nrows)
+    halo = build_halo_plan(A, partition_matrix(A, 5), with_matrices=True)
+    rank_node = (0, 0, 0, 1, 1)
+    na = build_comm_plan(halo, rank_node, "node-aware")
+    na.validate(halo)
+    from repro.mpilite.world import PerRank, run_spmd
+
+    def rank_fn(comm, rh):
+        eng = DistributedSpMVM(comm, rh, comm_plan=na)
+        lo, hi = halo.partition.bounds(comm.rank)
+        return eng.multiply(x[lo:hi], "no_overlap")
+
+    pieces = run_spmd(5, rank_fn, PerRank(halo.ranks))
+    ref = distributed_spmv(A, x, 5, scheme="no_overlap")
+    assert np.array_equal(np.concatenate(pieces), ref)

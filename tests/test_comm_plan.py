@@ -1,0 +1,180 @@
+"""Communication-plan builders: invariants, degeneracy, aggregation laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    build_comm_plan,
+    cached_comm_plan,
+    compare_plans,
+    plan_stats,
+)
+from repro.comm.plan import ELEMENT_BYTES
+from repro.core import build_halo_plan
+from repro.matrices import random_sparse
+from repro.sparse import partition_matrix
+
+
+def _halo(A, nranks):
+    return build_halo_plan(A, partition_matrix(A, nranks), with_matrices=False)
+
+
+@pytest.fixture(scope="module")
+def halo8():
+    return _halo(random_sparse(400, nnzr=7, seed=3), 8)
+
+
+# ----------------------------------------------------------------------
+# construction invariants
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["direct", "node-aware"])
+def test_channels_are_dense_and_scripts_consistent(halo8, kind):
+    rank_node = (0, 0, 1, 1, 2, 2, 3, 3)
+    plan = build_comm_plan(halo8, rank_node, kind)
+    assert [m.channel for m in plan.messages] == list(range(plan.n_channels))
+    send_channels = [ch for s in plan.scripts for ch in s.send_channels]
+    relay_channels = [
+        ch for s in plan.scripts for r in s.relays for ch in r.send_channels
+    ]
+    recv_channels = [ch for s in plan.scripts for ch in s.recv_channels]
+    # every message is sent exactly once and received exactly once
+    assert sorted(send_channels + relay_channels) == list(range(plan.n_channels))
+    assert sorted(recv_channels) == list(range(plan.n_channels))
+    for script in plan.scripts:
+        for ch in script.send_channels:
+            assert plan.messages[ch].src == script.rank
+        for ch in script.recv_channels:
+            assert plan.messages[ch].dst == script.rank
+    plan.validate(halo8)
+
+
+def test_direct_plan_mirrors_halo_lists(halo8):
+    rank_node = (0, 0, 1, 1, 2, 2, 3, 3)
+    plan = build_comm_plan(halo8, rank_node, "direct")
+    n_pairs = sum(len(rh.send_to) for rh in halo8.ranks)
+    assert plan.total_messages() == n_pairs
+    total_elements = sum(m.n_elements for m in plan.messages)
+    assert total_elements == sum(rh.n_send_elements for rh in halo8.ranks)
+    assert plan.edges == {}
+    # every rank packs exactly its halo send elements
+    for script, rh in zip(plan.scripts, halo8.ranks):
+        assert script.n_packed_elements == rh.n_send_elements
+
+
+def test_node_aware_keeps_intranode_messages_direct(halo8):
+    rank_node = (0, 0, 1, 1, 2, 2, 3, 3)
+    direct = build_comm_plan(halo8, rank_node, "direct")
+    na = build_comm_plan(halo8, rank_node, "node-aware")
+    same_node_direct = {
+        (m.src, m.dst, m.n_elements)
+        for m in direct.messages if not m.internode
+    }
+    na_direct_phase = {
+        (m.src, m.dst, m.n_elements)
+        for m in na.messages if m.phase == "direct"
+    }
+    assert na_direct_phase == same_node_direct
+    # exactly one forward per communicating node pair
+    forwards = [m for m in na.messages if m.phase == "forward"]
+    assert len(forwards) == len(na.edges)
+    assert all(m.internode for m in forwards)
+    # gathers and scatters never touch a NIC
+    for m in na.messages:
+        if m.phase in ("gather", "scatter"):
+            assert not m.internode
+
+
+def test_node_aware_forward_payload_is_deduplicated(halo8):
+    rank_node = (0, 0, 1, 1, 2, 2, 3, 3)
+    na = build_comm_plan(halo8, rank_node, "node-aware")
+    for (src_node, dst_node), edge in na.edges.items():
+        cols = edge.columns
+        assert np.all(np.diff(cols) > 0)  # strictly ascending = deduplicated
+        fwd = na.messages[edge.forward_channel]
+        assert fwd.n_elements == cols.size
+        assert (fwd.src_node, fwd.dst_node) == (src_node, dst_node)
+    na.validate(halo8)
+
+
+def test_single_rank_per_node_degenerates_to_direct(halo8):
+    rank_node = tuple(range(8))
+    direct = build_comm_plan(halo8, rank_node, "direct")
+    na = build_comm_plan(halo8, rank_node, "node-aware")
+    assert na.total_messages() == direct.total_messages()
+    assert na.internode_messages() == direct.internode_messages()
+    assert na.injected_bytes() == direct.injected_bytes()
+    # leaders own everything: forwards go out payload-ready, no relays
+    assert all(not s.relays for s in na.scripts)
+
+
+def test_plan_stats_and_comparison(halo8):
+    rank_node = (0, 0, 1, 1, 2, 2, 3, 3)
+    direct = build_comm_plan(halo8, rank_node, "direct")
+    na = build_comm_plan(halo8, rank_node, "node-aware")
+    cmp = compare_plans(direct, na)
+    assert cmp.direct.duplicate_factor >= 1.0
+    assert cmp.node_aware.duplicate_factor == pytest.approx(1.0)
+    assert cmp.node_aware.internode_bytes == cmp.node_aware.unique_internode_bytes
+    s = plan_stats(na)
+    assert s.messages == na.total_messages()
+    assert s.internode_bytes == na.injected_bytes()
+    nic_out, _ = na.nic_bytes()
+    assert s.max_nic_out_bytes == max(nic_out.values())
+    assert ELEMENT_BYTES * sum(
+        e.columns.size for e in na.edges.values()
+    ) == s.unique_internode_bytes
+    assert "node-aware" in cmp.render()
+
+
+def test_cached_comm_plan_reuses_and_respects_kind(halo8):
+    rank_node = (0, 0, 1, 1, 2, 2, 3, 3)
+    a = cached_comm_plan(halo8, rank_node, "node-aware")
+    b = cached_comm_plan(halo8, rank_node, "node-aware")
+    assert a is b
+    c = cached_comm_plan(halo8, rank_node, "direct")
+    assert c is not a and c.kind == "direct"
+    with pytest.raises(ValueError, match="kind"):
+        build_comm_plan(halo8, rank_node, "bogus")
+
+
+# ----------------------------------------------------------------------
+# the aggregation laws, property-tested over random sparsity
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    nnzr=st.integers(min_value=3, max_value=12),
+    ranks_per_node=st.integers(min_value=2, max_value=4),
+    n_nodes=st.integers(min_value=2, max_value=4),
+)
+def test_node_aware_reduces_messages_never_adds_bytes(
+    seed, nnzr, ranks_per_node, n_nodes
+):
+    nranks = ranks_per_node * n_nodes
+    A = random_sparse(40 * nranks, nnzr=nnzr, seed=seed)
+    halo = _halo(A, nranks)
+    rank_node = tuple(r // ranks_per_node for r in range(nranks))
+    direct = build_comm_plan(halo, rank_node, "direct")
+    na = build_comm_plan(halo, rank_node, "node-aware")
+    direct.validate(halo)
+    na.validate(halo)
+    if direct.internode_messages() == 0:
+        return  # nothing to aggregate
+    # multi-rank-per-node: strictly fewer inter-node messages ...
+    assert na.internode_messages() < direct.internode_messages()
+    # ... at most one per node pair ...
+    pairs = {
+        (m.src_node, m.dst_node) for m in direct.messages if m.internode
+    }
+    assert na.internode_messages() == len(pairs)
+    # ... and never more injected bytes (dedup can only shrink payloads)
+    assert na.injected_bytes() <= direct.injected_bytes()
+    # per-NIC load never grows either
+    d_out, d_in = direct.nic_bytes()
+    n_out, n_in = na.nic_bytes()
+    for node, nbytes in n_out.items():
+        assert nbytes <= d_out[node]
+    for node, nbytes in n_in.items():
+        assert nbytes <= d_in[node]

@@ -1,0 +1,108 @@
+"""Simulator replay of communication plans: traces, stats, overhead model."""
+
+from collections import Counter
+
+import pytest
+
+from repro.comm import build_comm_plan, plan_stats
+from repro.core import build_halo_plan, simulate_from_plan
+from repro.machine import cray_xe6_cluster, ranks_for_mode, westmere_cluster
+from repro.obs import comm_phase_messages
+from repro.sparse import partition_matrix
+
+EAGER = 1024
+
+SIM_SCHEMES = ("no_overlap", "naive_overlap", "task_mode")
+
+
+@pytest.fixture(scope="module")
+def sim_matrix(hmep_small):
+    return hmep_small
+
+
+def _plan_for(matrix, cluster, mode="per-ld"):
+    nranks = ranks_for_mode(cluster, mode)
+    return build_halo_plan(
+        matrix, partition_matrix(matrix, nranks), with_matrices=False
+    )
+
+
+@pytest.mark.parametrize("scheme", SIM_SCHEMES)
+@pytest.mark.parametrize("comm_plan", ["direct", "node-aware"])
+def test_all_schemes_simulate_under_both_plans(sim_matrix, scheme, comm_plan):
+    cl = westmere_cluster(4)
+    r = simulate_from_plan(
+        _plan_for(sim_matrix, cl), cl, mode="per-ld", scheme=scheme, kappa=2.5,
+        eager_threshold=EAGER, comm_plan=comm_plan,
+    )
+    assert r.total_seconds > 0
+    assert r.comm_plan == comm_plan  # recorded on the result
+    if comm_plan != "direct":
+        assert comm_plan in r.describe()
+
+
+def test_plan_stats_match_traced_messages(sim_matrix):
+    # acceptance: the static plan accounting agrees with what the
+    # simulator actually put on the wire, per phase
+    cl = westmere_cluster(4)
+    plan = _plan_for(sim_matrix, cl)
+    iterations = 3
+    for kind in ("direct", "node-aware"):
+        r = simulate_from_plan(
+            plan, cl, mode="per-ld", scheme="no_overlap", kappa=2.5,
+            eager_threshold=EAGER, comm_plan=kind, iterations=iterations,
+            trace=True,
+        )
+        rank_node = [rk // 2 for rk in range(plan.nranks)]
+        cplan = build_comm_plan(plan, rank_node, kind)
+        observed = comm_phase_messages(r.trace)
+        expected = Counter(m.phase for m in cplan.messages)
+        for phase, count in observed.items():
+            assert count == expected.get(phase, 0) * iterations
+        assert sum(observed.values()) == cplan.total_messages() * iterations
+        assert sum(observed.values()) == r.messages_per_mvm * iterations
+        assert plan_stats(cplan).messages == cplan.total_messages()
+
+
+def test_node_aware_moves_gathers_onto_intra_links(sim_matrix):
+    cl = westmere_cluster(4)
+    plan = _plan_for(sim_matrix, cl)
+    common = dict(mode="per-ld", scheme="no_overlap", kappa=2.5,
+                  eager_threshold=EAGER)
+    direct = simulate_from_plan(plan, cl, comm_plan="direct", **common)
+    na = simulate_from_plan(plan, cl, comm_plan="node-aware", **common)
+
+    def intra_bytes(r):
+        return sum(
+            s.bytes_moved for key, s in r.resource_stats.items()
+            if key[0] == "intra"
+        )
+
+    def nic_out_bytes(r):
+        return sum(
+            s.bytes_moved for key, s in r.resource_stats.items()
+            if key[0] == "nic_out"
+        )
+
+    # gather/scatter hops add intra-node traffic; aggregation and dedup
+    # can only shrink what crosses the NICs
+    assert intra_bytes(na) > intra_bytes(direct)
+    assert nic_out_bytes(na) <= nic_out_bytes(direct)
+
+
+def test_message_overhead_penalises_message_count(sim_matrix):
+    # per-core pure MPI on the torus: many small messages, so a NIC
+    # injection-rate limit must slow the direct lowering more than the
+    # aggregated one
+    quiet = cray_xe6_cluster(2)
+    limited = cray_xe6_cluster(2, message_overhead=2.0e-6)
+    plan = _plan_for(sim_matrix, quiet, mode="per-core")
+    common = dict(mode="per-core", scheme="no_overlap", kappa=2.5,
+                  eager_threshold=EAGER)
+    base = simulate_from_plan(plan, quiet, comm_plan="direct", **common)
+    slow = simulate_from_plan(plan, limited, comm_plan="direct", **common)
+    slow_na = simulate_from_plan(plan, limited, comm_plan="node-aware", **common)
+    assert slow.total_seconds > base.total_seconds
+    # aggregation claws back most of the message-rate penalty
+    assert slow_na.total_seconds < slow.total_seconds
+    assert slow_na.messages_per_mvm < slow.messages_per_mvm

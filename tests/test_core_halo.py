@@ -124,3 +124,34 @@ def test_requires_square_and_matching_partition(matrix):
         build_halo_plan(rect, partition_rows_balanced(4, 2))
     with pytest.raises(ValueError, match="partition covers"):
         build_halo_plan(matrix, partition_rows_balanced(50, 2))
+
+
+def test_halo_columns_always_populated(matrix):
+    # metadata-only plans still carry the global halo column sets —
+    # the communication planners (repro.comm) need them
+    plan = build_halo_plan(matrix, partition_matrix(matrix, 4), with_matrices=False)
+    for rh in plan.ranks:
+        assert rh.halo_columns is not None
+        assert rh.halo_columns.size == rh.n_halo
+
+
+def test_cached_plan_refresh_keeps_live_neighbours(monkeypatch):
+    import weakref
+
+    from repro.core import halo as halo_mod
+
+    monkeypatch.setattr(halo_mod, "_PLAN_CACHE_MAX", 2)
+    monkeypatch.setattr(halo_mod, "_PLAN_CACHE", {})
+    A = random_sparse(60, nnzr=4, seed=21)
+    B = random_sparse(60, nnzr=4, seed=22)
+    pb = halo_mod.cached_halo_plan(B, 2, with_matrices=False)
+    pa = halo_mod.cached_halo_plan(A, 2, with_matrices=False)
+    # cache is now at capacity.  Sour A's entry in place: the key exists
+    # but its weakref resolves to a different live object (the id-reuse
+    # case the weakref guards against), forcing a rebuild-and-refresh.
+    key = (id(A), 2, "nnz", False)
+    assert key in halo_mod._PLAN_CACHE
+    halo_mod._PLAN_CACHE[key] = (weakref.ref(B), pa)
+    halo_mod.cached_halo_plan(A, 2, with_matrices=False)
+    # refreshing an existing key at capacity must not evict B's live plan
+    assert halo_mod.cached_halo_plan(B, 2, with_matrices=False) is pb

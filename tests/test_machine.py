@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.machine import (
     FatTree,
@@ -157,9 +159,8 @@ def test_torus_hops_wraparound():
 
 def test_torus_demand_scales_with_hops():
     t = Torus2D(latency=1e-6)
-    t.resources(16)
-    near = dict(t.route(1000, 0, 1).demands)[("torus_links",)]
-    far = dict(t.route(1000, 0, 10).demands)[("torus_links",)]
+    near = dict(t.route(1000, 0, 1, n_nodes=16).demands)[("torus_links",)]
+    far = dict(t.route(1000, 0, 10, n_nodes=16).demands)[("torus_links",)]
     assert far > near
 
 
@@ -179,7 +180,57 @@ def test_torus_bisection_scaling():
     assert pool_64 / pool_16 == pytest.approx(2.0)
 
 
-def test_torus_route_requires_resources_first():
+def test_torus_route_requires_n_nodes():
+    # routing on a torus depends on the machine size; passing it
+    # explicitly (instead of caching it from resources()) means a route
+    # can never silently use a stale node count
     t = Torus2D(latency=1e-6)
-    with pytest.raises(RuntimeError, match="resources"):
+    with pytest.raises(ValueError, match="n_nodes"):
         t.route(10, 0, 1)
+    # intra-node routes never touch the torus, so no size is needed
+    assert dict(t.route(10, 3, 3).demands) == {("intra", 3): 10.0}
+
+
+def test_message_overhead_adds_nic_demand():
+    plain = Torus2D(latency=1e-6)
+    limited = Torus2D(latency=1e-6, message_overhead=1e-6)
+    base = dict(plain.route(1000, 0, 1, n_nodes=16).demands)
+    loaded = dict(limited.route(1000, 0, 1, n_nodes=16).demands)
+    # 1 us of NIC occupancy at 6 GB/s = 6000 extra bytes of demand per message
+    assert loaded[("nic_out", 0)] == pytest.approx(base[("nic_out", 0)] + 6000.0)
+    assert loaded[("nic_in", 1)] == pytest.approx(base[("nic_in", 1)] + 6000.0)
+    # the shared link pool carries payload only
+    assert loaded[("torus_links",)] == base[("torus_links",)]
+    # intra-node transport is not message-rate limited
+    assert dict(limited.route(1000, 2, 2).demands) == {("intra", 2): 1000.0}
+    ft = FatTree(latency=1e-6, link_bandwidth=3e9, message_overhead=1e-6)
+    d = dict(ft.route(1000, 0, 1).demands)
+    assert d[("nic_out", 0)] == pytest.approx(1000.0 + 3000.0)
+    with pytest.raises(ValueError, match="message_overhead"):
+        Torus2D(latency=1e-6, message_overhead=-1.0)
+
+
+@given(
+    n_nodes=st.integers(min_value=1, max_value=200),
+    data=st.data(),
+)
+def test_torus_hops_symmetric_and_bounded(n_nodes, data):
+    t = Torus2D(latency=1e-6)
+    a = data.draw(st.integers(min_value=0, max_value=n_nodes - 1))
+    b = data.draw(st.integers(min_value=0, max_value=n_nodes - 1))
+    w, h = t.dims(n_nodes)
+    assert w * h >= n_nodes
+    hops = t.hops(a, b, n_nodes)
+    # wraparound symmetry: distance cannot depend on direction
+    assert hops == t.hops(b, a, n_nodes)
+    # dimension-ordered routing with wraps: at most half of each dimension
+    assert 1 <= hops <= max(1, w // 2 + h // 2)
+
+
+@given(n_nodes=st.integers(min_value=1, max_value=400),
+       background=st.floats(min_value=0.0, max_value=0.9))
+def test_torus_pool_matches_bisection_formula(n_nodes, background):
+    t = Torus2D(latency=1e-6, link_bandwidth=5e9, background_load=background)
+    pool = t.resources(n_nodes)[("torus_links",)](1.0)
+    w, h = t.dims(n_nodes)
+    assert pool == pytest.approx(4.0 * min(w, h) * 5e9 * (1.0 - background))

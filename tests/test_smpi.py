@@ -242,14 +242,14 @@ def test_torus_transfers_respect_link_pool():
 class _LatencyOnlyIcn(FatTree):
     """Interconnect whose routes declare no bandwidth-limited resources."""
 
-    def route(self, nbytes, src_node, dst_node):
+    def route(self, nbytes, src_node, dst_node, n_nodes=None):
         return Route(self.latency, ())
 
 
 class _UnregisteredIcn(FatTree):
     """Interconnect whose probe route names a resource nobody registered."""
 
-    def route(self, nbytes, src_node, dst_node):
+    def route(self, nbytes, src_node, dst_node, n_nodes=None):
         return Route(self.latency, ((("ghost", 0), float(nbytes)),))
 
 
