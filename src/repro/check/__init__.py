@@ -1,0 +1,46 @@
+"""repro.check: communication correctness analysis for mpilite worlds.
+
+Two prongs (see DESIGN.md):
+
+* **dynamic** — :class:`CommRecorder` observes a running world (vector
+  clocks, wait-for graph, buffer checksums) and diagnoses deadlocks,
+  message races, buffer hazards and leaked requests with full
+  rank/tag/peer provenance; :func:`run_checked`/:func:`check_spmvm`
+  drive instrumented runs end to end;
+* **static** — :func:`lint_comm_plan` proves plan-level invariants
+  (volume conservation, exactly-once relaying, phase ordering) before
+  anything runs.
+
+``repro check`` is the CLI entry; :data:`SEED_BUGS` are the seeded-bug
+fixtures demonstrating every detector firing.
+"""
+
+from repro.check.driver import check_spmvm, run_checked, sim_teardown_findings
+from repro.check.findings import (
+    FINDING_KINDS,
+    CheckFailure,
+    CheckReport,
+    Finding,
+    raise_if_findings,
+)
+from repro.check.fixtures import SEED_BUGS, run_seed_bug
+from repro.check.lint import lint_comm_plan
+from repro.check.races import analyze_races
+from repro.check.recorder import CommRecorder, DeadlockError
+
+__all__ = [
+    "FINDING_KINDS",
+    "Finding",
+    "CheckReport",
+    "CheckFailure",
+    "raise_if_findings",
+    "CommRecorder",
+    "DeadlockError",
+    "analyze_races",
+    "lint_comm_plan",
+    "run_checked",
+    "check_spmvm",
+    "sim_teardown_findings",
+    "SEED_BUGS",
+    "run_seed_bug",
+]

@@ -1,0 +1,157 @@
+"""Seeded-bug fixtures: one per detector, proving each actually fires.
+
+``repro check --seed-bug NAME`` (and the test-suite) runs these tiny
+worlds/plans, each constructed to contain exactly one class of
+communication bug.  A detector that stays silent on its fixture is
+broken — the fixtures are the analyzer's own regression harness, and a
+live demonstration of what each diagnostic looks like.
+
+Every entry maps a stable name to ``(expected finding kind, runner)``;
+the runner returns the :class:`~repro.check.findings.CheckReport` of the
+seeded run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from repro.check.driver import run_checked
+from repro.check.findings import CheckReport
+
+__all__ = ["SEED_BUGS", "run_seed_bug"]
+
+
+def _deadlock_cycle() -> CheckReport:
+    """Two ranks receive from each other before either sends: a 2-cycle."""
+
+    def fn(comm) -> None:
+        peer = 1 - comm.rank
+        comm.recv(peer, tag=1)  # both block here: nobody has sent yet
+        comm.send(comm.rank, peer, tag=1)
+
+    _results, report = run_checked(
+        2, fn, recv_timeout=10.0, timeout=30.0, context="seed-bug deadlock-cycle"
+    )
+    return report
+
+
+def _collective_stall() -> CheckReport:
+    """Rank 2 returns without entering the barrier the others sit in."""
+
+    def fn(comm) -> None:
+        if comm.rank != 2:
+            comm.barrier()
+
+    _results, report = run_checked(
+        3, fn, recv_timeout=10.0, timeout=30.0, context="seed-bug collective-stall"
+    )
+    return report
+
+
+def _message_race() -> CheckReport:
+    """Two causally concurrent sends race for one wildcard receive."""
+    from repro.mpilite.router import ANY_SOURCE
+
+    def fn(comm) -> list[int] | None:
+        if comm.rank == 0:
+            first = comm.recv(ANY_SOURCE, tag=5)
+            second = comm.recv(ANY_SOURCE, tag=5)
+            return [first, second]
+        comm.send(comm.rank, 0, tag=5)
+        return None
+
+    _results, report = run_checked(
+        3, fn, recv_timeout=10.0, timeout=30.0, context="seed-bug message-race"
+    )
+    return report
+
+
+def _buffer_hazard() -> CheckReport:
+    """User writes to Isend/Irecv buffers while the requests are in flight."""
+
+    def fn(comm) -> None:
+        if comm.rank == 0:
+            out = np.arange(4.0)
+            req = comm.Isend(out, 1, tag=2)
+            out[0] = 99.0  # hazard: modified before completion
+            req.wait()
+            inbox = np.empty(4)
+            req = comm.Irecv(inbox, 1, tag=3)
+            inbox[0] = -1.0  # hazard: the library owns the buffer
+            req.wait()
+        else:
+            buf = np.empty(4)
+            comm.Recv(buf, 0, tag=2)
+            comm.Send(np.arange(4.0), 0, tag=3)
+
+    _results, report = run_checked(
+        2, fn, recv_timeout=10.0, timeout=30.0, context="seed-bug buffer-hazard"
+    )
+    return report
+
+
+def _leaked_request() -> CheckReport:
+    """A request never completed, and a message nobody ever receives."""
+
+    def fn(comm) -> None:
+        if comm.rank == 0:
+            comm.send("claimed", 1, tag=8)
+            comm.send("orphaned", 1, tag=9)
+        else:
+            comm.irecv(0, tag=8)  # posted, never wait()ed nor test()ed
+        comm.barrier()  # make rank 1 outlive the sends deterministically
+
+    _results, report = run_checked(
+        2, fn, recv_timeout=10.0, timeout=30.0, context="seed-bug leaked-request"
+    )
+    return report
+
+
+def _plan_lint() -> CheckReport:
+    """A node-aware plan mutated the way real planner bugs look."""
+    from repro.check.lint import lint_comm_plan
+    from repro.comm.plan import build_comm_plan
+    from repro.core.halo import cached_halo_plan
+    from repro.matrices import get_matrix
+
+    A = get_matrix("HMeP", "tiny").build_cached()
+    nranks, ranks_per_node = 4, 2
+    halo = cached_halo_plan(A, nranks)
+    rank_node = [r // ranks_per_node for r in range(nranks)]
+    plan = build_comm_plan(halo, rank_node, kind="node-aware")
+
+    # inflate one message's element count (volume no longer conserved)
+    ch = plan.messages[-1].channel
+    plan.messages[ch] = dataclasses.replace(
+        plan.messages[ch], n_elements=plan.messages[ch].n_elements + 3
+    )
+    # and orphan it: its receiver forgets the channel entirely
+    dst = plan.messages[ch].dst
+    plan.scripts[dst].recv_channels.remove(ch)
+
+    report = CheckReport(context="seed-bug plan-lint")
+    report.extend(lint_comm_plan(plan, halo))
+    return report
+
+
+#: name -> (finding kind the fixture must produce, runner)
+SEED_BUGS: dict[str, tuple[str, Callable[[], CheckReport]]] = {
+    "deadlock-cycle": ("deadlock", _deadlock_cycle),
+    "collective-stall": ("deadlock", _collective_stall),
+    "message-race": ("message-race", _message_race),
+    "buffer-hazard": ("buffer-hazard", _buffer_hazard),
+    "leaked-request": ("leaked-request", _leaked_request),
+    "plan-lint": ("plan-lint", _plan_lint),
+}
+
+
+def run_seed_bug(name: str) -> tuple[bool, CheckReport]:
+    """Run one fixture; returns (expected detector fired, its report)."""
+    if name not in SEED_BUGS:
+        raise ValueError(f"unknown seed bug {name!r} (expected one of {sorted(SEED_BUGS)})")
+    kind, runner = SEED_BUGS[name]
+    report = runner()
+    return bool(report.by_kind(kind)), report

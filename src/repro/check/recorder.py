@@ -1,0 +1,484 @@
+"""The dynamic prong: an opt-in recorder for mpilite communication.
+
+:class:`CommRecorder` implements the observer interface of
+:class:`repro.mpilite.router.Router` and
+:class:`repro.mpilite.comm.CollectiveState` (attached via
+``run_spmd(..., recorder=...)``), maintaining
+
+* one **vector clock** per rank — ticked on every send/receive/collective,
+  merged on delivery — the happens-before relation that the message-race
+  analysis (:mod:`repro.check.races`) is built on;
+* a **wait-for graph** over blocked operations — receives waiting on a
+  peer (edges suppressed while a matching message is in flight),
+  collectives waiting on the ranks that have not arrived, and waits on
+  ranks that already finished — with a stuck-set fixpoint that declares
+  a deadlock the moment no blocked rank can ever be satisfied, naming
+  the cycle.  This is the watchdog that turns mpilite's silent
+  60-second collective hang into an immediate diagnosis;
+* **buffer guards**: ``Isend``/``Irecv`` buffers are checksummed at
+  posting time and verified at completion, so user writes inside the
+  in-flight window are reported as buffer hazards (mpilite's buffered
+  router makes them benign *here*, but they are data races under any
+  real, non-buffering MPI);
+* **request and message accounting**: requests never completed and
+  messages never received are reported at world teardown.
+
+Like standard MPI correctness tools, the deadlock detector assumes one
+communicating agent per rank (the repository's universal usage — task
+mode's dedicated communication thread is exactly that agent); the
+world-level ``timeout`` remains the backstop for anything outside that
+model.  Every finding is also emitted as a structured trace event
+(category ``"check"``) when a :class:`~repro.frame.trace.TraceRecorder`
+is attached.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, NamedTuple
+
+import numpy as np
+
+from repro.check.findings import CheckReport, Finding
+from repro.check.vclock import vc_merge, vc_new, vc_tick, vc_tick_merge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.frame.trace import TraceRecorder
+    from repro.mpilite.comm import Request
+
+__all__ = ["DeadlockError", "SendEvent", "RecvEvent", "CommRecorder"]
+
+# mirrors repro.mpilite.router without importing it (keeps this package
+# usable for static-only work without pulling the runtime in)
+_ANY = -1
+
+
+class DeadlockError(RuntimeError):
+    """Raised inside every blocked rank once a wait-for cycle is declared."""
+
+
+class SendEvent(NamedTuple):
+    """One observed send, with the sender's clock at posting time.
+
+    A NamedTuple, not a dataclass: one is built per message on the
+    instrumented hot path, and tuple construction is several times
+    cheaper than frozen-dataclass ``__init__``.
+    """
+
+    eid: int
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    vc: tuple[int, ...]
+
+
+class RecvEvent(NamedTuple):
+    """One observed receive completion and the send it matched."""
+
+    eid: int
+    rank: int
+    req_src: int  # requested source (may be ANY_SOURCE)
+    req_tag: int  # requested tag (may be ANY_TAG)
+    send: SendEvent
+
+    @property
+    def wildcard(self) -> bool:
+        """Whether the receive used a wildcard source or tag."""
+        return self.req_src == _ANY or self.req_tag == _ANY
+
+
+@dataclass
+class _Blocked:
+    """One blocked operation (keyed by thread; at most one per rank in
+    the one-communicating-agent model)."""
+
+    rank: int
+    kind: str  # "recv" | "collective"
+    src: int = _ANY
+    tag: int = _ANY
+    gen: int = -1
+
+    def describe(self) -> str:
+        if self.kind == "collective":
+            return f"rank {self.rank} blocked in collective generation {self.gen}"
+        src = "ANY_SOURCE" if self.src == _ANY else str(self.src)
+        tag = "ANY_TAG" if self.tag == _ANY else str(self.tag)
+        return f"rank {self.rank} blocked in recv(source={src}, tag={tag})"
+
+
+@dataclass
+class _OpenRequest:
+    req: "Request"
+    checksum: int | None = None
+    shape: tuple[int, ...] = ()
+    closed: bool = False
+
+
+def _checksum(buf: np.ndarray) -> int:
+    return zlib.adler32(np.ascontiguousarray(buf).view(np.uint8).reshape(-1))
+
+
+@dataclass
+class CommRecorder:
+    """Per-world dynamic analyzer state (see module docstring).
+
+    Attach with ``run_spmd(..., recorder=rec)``; call :meth:`finalize`
+    after the world returns (or fails) to obtain the
+    :class:`~repro.check.findings.CheckReport`.
+    """
+
+    nranks: int
+    trace: "TraceRecorder | None" = None
+    #: slice length of instrumented blocking waits (seconds); also how
+    #: quickly a declared deadlock propagates into every blocked rank
+    poll_interval: float = 0.02
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._t0 = time.monotonic()
+        self._clock: list[tuple[int, ...]] = [vc_new(self.nranks) for _ in range(self.nranks)]
+        # in-flight sends per (src, dst, tag) channel, FIFO like the router
+        self._inflight: dict[tuple[int, int, int], deque[SendEvent]] = {}
+        self.sends: list[SendEvent] = []
+        self.recvs: list[RecvEvent] = []
+        self._next_eid = 0
+        self._blocked: dict[tuple[int, int], _Blocked] = {}  # (rank, thread id) -> op
+        self._finished: set[int] = set()
+        self._coll_arrived: dict[int, set[int]] = {}
+        self._coll_clocks: dict[int, dict[int, tuple[int, ...]]] = {}
+        self._coll_exits: dict[int, int] = {}
+        self._deadlock: Finding | None = None
+        self._deadlock_ranks: set[int] = set()
+        # set on every event that can turn a live state into a doomed one
+        # (a rank blocks or finishes, an in-flight message is consumed);
+        # sends and unblocks can only release, so they leave it alone
+        self._dirty = False
+        self._requests: dict[int, _OpenRequest] = {}
+        self._next_rid = 0
+        self.findings: list[Finding] = []
+        self.events_observed = 0
+
+    # ------------------------------------------------------------------
+    # router observer interface
+    # ------------------------------------------------------------------
+    def on_send(self, src: int, dst: int, tag: int, nbytes: int) -> None:
+        """A message was deposited (called under the router lock)."""
+        with self._lock:
+            self._clock[src] = vc_tick(self._clock[src], src)
+            ev = SendEvent(self._next_eid, src, dst, tag, nbytes, self._clock[src])
+            self._next_eid += 1
+            self._inflight.setdefault((src, dst, tag), deque()).append(ev)
+            self.sends.append(ev)
+            self.events_observed += 1
+
+    def on_recv_complete(self, dst: int, src: int, tag: int, req_src: int, req_tag: int) -> None:
+        """A receive matched the in-flight message on (src, dst, tag)."""
+        with self._lock:
+            box = self._inflight.get((src, dst, tag))
+            if not box:  # attached mid-world; nothing to correlate
+                return
+            ev = box.popleft()
+            self._clock[dst] = vc_tick_merge(self._clock[dst], dst, ev.vc)
+            self.recvs.append(RecvEvent(self._next_eid, dst, req_src, req_tag, ev))
+            self._next_eid += 1
+            self.events_observed += 1
+            # consuming a message can only doom a rank that counted on it,
+            # and only rank *dst* can ever receive from this channel — so
+            # re-detection is needed only if another thread of dst is
+            # blocked (outside the one-agent-per-rank model)
+            tid = threading.get_ident()
+            if any(
+                b.rank == dst and key[1] != tid
+                for key, b in self._blocked.items()
+            ):
+                self._dirty = True
+
+    def on_recv_blocked(self, rank: int, src: int, tag: int) -> None:
+        """*rank* is about to wait for a message (under the router lock)."""
+        with self._lock:
+            key = (rank, threading.get_ident())
+            self._blocked[key] = _Blocked(rank, "recv", src=src, tag=tag)
+            self._dirty = True
+            self._detect_locked()
+            self._raise_if_deadlocked(rank)
+
+    def on_recv_unblocked(self, rank: int) -> None:
+        """The wait of *rank*'s current thread ended (matched, timed out
+        or deadlocked)."""
+        with self._lock:
+            self._blocked.pop((rank, threading.get_ident()), None)
+
+    def check_blocked(self, rank: int) -> None:
+        """Periodic probe from a blocked wait; raises on a declared deadlock."""
+        with self._lock:
+            self._detect_locked()
+            self._raise_if_deadlocked(rank)
+
+    # ------------------------------------------------------------------
+    # collective observer interface
+    # ------------------------------------------------------------------
+    def on_collective_enter(self, rank: int, gen: int) -> None:
+        """*rank* deposited into collective generation *gen*."""
+        with self._lock:
+            self._clock[rank] = vc_tick(self._clock[rank], rank)
+            self._coll_arrived.setdefault(gen, set()).add(rank)
+            self._coll_clocks.setdefault(gen, {})[rank] = self._clock[rank]
+            self._blocked[(rank, threading.get_ident())] = _Blocked(rank, "collective", gen=gen)
+            self.events_observed += 1
+            self._dirty = True
+            self._detect_locked()
+            self._raise_if_deadlocked(rank)
+
+    def on_collective_exit(self, rank: int, gen: int, completed: bool = True) -> None:
+        """*rank* left generation *gen* (merging everyone's clock on success)."""
+        with self._lock:
+            self._blocked.pop((rank, threading.get_ident()), None)
+            if completed:
+                merged = self._clock[rank]
+                for vc in self._coll_clocks.get(gen, {}).values():
+                    merged = vc_merge(merged, vc)
+                self._clock[rank] = merged
+            self._coll_exits[gen] = self._coll_exits.get(gen, 0) + 1
+            if self._coll_exits[gen] >= self.nranks:
+                self._coll_arrived.pop(gen, None)
+                self._coll_clocks.pop(gen, None)
+                self._coll_exits.pop(gen, None)
+
+    def on_rank_finished(self, rank: int) -> None:
+        """*rank*'s SPMD function returned (or raised) — it will never
+        send again, which can doom ranks still waiting on it."""
+        with self._lock:
+            self._finished.add(rank)
+            self._dirty = True
+            self._detect_locked()
+
+    # ------------------------------------------------------------------
+    # request tracking and buffer guards (called by Comm)
+    # ------------------------------------------------------------------
+    def on_request_open(self, req: "Request", buf: np.ndarray | None = None) -> None:
+        """Register a nonblocking request (and checksum its buffer)."""
+        with self._lock:
+            rid = self._next_rid
+            self._next_rid += 1
+            entry = _OpenRequest(req)
+            if buf is not None:
+                entry.checksum = _checksum(buf)
+                entry.shape = buf.shape
+            self._requests[rid] = entry
+            self.events_observed += 1
+            req._on_done = lambda: self._on_request_done(rid, buf)
+
+    def verify_buffer(self, req: "Request", buf: np.ndarray) -> None:
+        """Pre-delivery check of an ``Irecv`` buffer (user writes inside
+        the in-flight window clobber data the library owns)."""
+        with self._lock:
+            entry = self._find_request_locked(req)
+            if entry is None or entry.checksum is None:
+                return
+            if _checksum(buf) != entry.checksum:
+                self._record_locked(Finding(
+                    kind="buffer-hazard",
+                    message=(
+                        f"rank {req.rank}: receive buffer (shape {entry.shape}) was "
+                        f"written between Irecv(source={req.peer}, tag={req.tag}) "
+                        f"posting and completion — the library owns the buffer "
+                        f"while the request is in flight"
+                    ),
+                    ranks=(req.rank,),
+                    details={"op": "Irecv", "peer": req.peer, "tag": req.tag},
+                ))
+                entry.checksum = None  # report once
+
+    def _on_request_done(self, rid: int, buf: np.ndarray | None) -> None:
+        with self._lock:
+            entry = self._requests.get(rid)
+            if entry is None:
+                return
+            entry.closed = True
+            req = entry.req
+            hazard = (
+                req.kind == "Isend" and buf is not None
+                and entry.checksum is not None and _checksum(buf) != entry.checksum
+            )
+            if hazard:
+                self._record_locked(Finding(
+                    kind="buffer-hazard",
+                    message=(
+                        f"rank {req.rank}: send buffer (shape {entry.shape}) was "
+                        f"modified between Isend(dest={req.peer}, tag={req.tag}) "
+                        f"posting and completion — a data race under any "
+                        f"non-buffering MPI"
+                    ),
+                    ranks=(req.rank,),
+                    details={"op": "Isend", "peer": req.peer, "tag": req.tag},
+                ))
+
+    def _find_request_locked(self, req: "Request") -> _OpenRequest | None:
+        for entry in self._requests.values():
+            if entry.req is req:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # deadlock detection
+    # ------------------------------------------------------------------
+    def _inflight_match_locked(self, rank: int, src: int, tag: int) -> bool:
+        for (s, d, t), box in self._inflight.items():
+            if not box or d != rank:
+                continue
+            if (src == _ANY or s == src) and (tag == _ANY or t == tag):
+                return True
+        return False
+
+    def _satisfiers(self, op: _Blocked) -> set[int]:
+        """Ranks whose action could unblock *op*."""
+        if op.kind == "collective":
+            arrived = self._coll_arrived.get(op.gen, set())
+            return {r for r in range(self.nranks) if r not in arrived}
+        if op.src == _ANY:
+            return {r for r in range(self.nranks) if r != op.rank}
+        return {op.src}
+
+    def _detect_locked(self) -> None:
+        """Stuck-set fixpoint over the wait-for graph.
+
+        Start from every finished or blocked rank; release any blocked
+        rank with a matching in-flight message or a potential satisfier
+        outside the stuck set; what remains blocked at the fixpoint is a
+        deadlock.
+
+        Deadlocks are stable: once a state is live it stays live until a
+        doom-relevant event (``_dirty``), so periodic probes from blocked
+        waits skip the fixpoint entirely when nothing changed.
+        """
+        if self._deadlock is not None or not self._blocked or not self._dirty:
+            return
+        self._dirty = False
+        ops: dict[int, _Blocked] = {op.rank: op for op in self._blocked.values()}
+        stuck = set(self._finished) | set(ops)
+        changed = True
+        while changed:
+            changed = False
+            for rank, op in ops.items():
+                if rank not in stuck:
+                    continue
+                if op.kind == "recv" and self._inflight_match_locked(rank, op.src, op.tag):
+                    stuck.discard(rank)
+                    changed = True
+                    continue
+                satisfiers = self._satisfiers(op)
+                if op.kind == "collective" and not satisfiers:
+                    # everyone arrived: the generation is completing right now
+                    stuck.discard(rank)
+                    changed = True
+                elif satisfiers - stuck:
+                    stuck.discard(rank)
+                    changed = True
+        doomed = sorted(r for r in stuck if r in ops)
+        if not doomed:
+            return
+        cycle = self._extract_cycle(ops, set(doomed))
+        waits = [ops[r].describe() for r in doomed]
+        finished = sorted(self._finished & {s for r in doomed for s in self._satisfiers(ops[r])})
+        parts = ["deadlock: " + "; ".join(waits)]
+        if cycle:
+            parts.append("wait-for cycle " + " -> ".join(str(r) for r in cycle + [cycle[0]]))
+        if finished:
+            parts.append(
+                "rank(s) " + ",".join(str(r) for r in finished) + " already finished"
+            )
+        self._deadlock = Finding(
+            kind="deadlock",
+            message="; ".join(parts),
+            ranks=tuple(doomed),
+            details={
+                "cycle": cycle,
+                "waits": waits,
+                "finished": finished,
+            },
+        )
+        self._deadlock_ranks = set(doomed)
+        self._record_locked(self._deadlock)
+
+    def _extract_cycle(self, ops: dict[int, _Blocked], doomed: set[int]) -> list[int]:
+        """Walk concrete successors inside the doomed set to name a cycle."""
+        for start in sorted(doomed):
+            path: list[int] = []
+            seen: dict[int, int] = {}
+            rank = start
+            while rank in doomed and rank not in seen:
+                seen[rank] = len(path)
+                path.append(rank)
+                nxt = sorted(self._satisfiers(ops[rank]) & doomed)
+                if not nxt:
+                    break
+                rank = nxt[0]
+            else:
+                if rank in seen:
+                    return path[seen[rank]:]
+        return []
+
+    def _raise_if_deadlocked(self, rank: int) -> None:
+        if self._deadlock is not None and rank in self._deadlock_ranks:
+            raise DeadlockError(self._deadlock.message)
+
+    # ------------------------------------------------------------------
+    # findings and teardown
+    # ------------------------------------------------------------------
+    def _record_locked(self, finding: Finding) -> None:
+        self.findings.append(finding)
+        if self.trace is not None:
+            actor = f"rank{finding.ranks[0]}" if finding.ranks else "world"
+            self.trace.emit(
+                time.monotonic() - self._t0, actor, "check_finding", "check",
+                kind=finding.kind, message=finding.message,
+            )
+
+    def finalize(self, context: str = "") -> CheckReport:
+        """Run the post-mortem analyses and assemble the report.
+
+        Call after the world returned (or failed): flags leaked requests,
+        unconsumed messages, and message races (the latter verified by
+        replaying the permuted matching, see :mod:`repro.check.races`).
+        """
+        from repro.check.races import analyze_races
+
+        with self._lock:
+            for entry in self._requests.values():
+                if entry.closed or entry.req._done:
+                    continue
+                req = entry.req
+                peer = "ANY_SOURCE" if req.peer == _ANY else str(req.peer)
+                tag = "ANY_TAG" if req.tag == _ANY else str(req.tag)
+                self._record_locked(Finding(
+                    kind="leaked-request",
+                    message=(
+                        f"rank {req.rank}: {req.kind}(peer={peer}, tag={tag}) was "
+                        f"never completed with wait()/test() before world teardown"
+                    ),
+                    ranks=(req.rank,),
+                    details={"op": req.kind, "peer": req.peer, "tag": req.tag},
+                ))
+            for (src, dst, tag), box in sorted(self._inflight.items()):
+                if box:
+                    self._record_locked(Finding(
+                        kind="unconsumed-message",
+                        message=(
+                            f"{len(box)} message(s) from rank {src} to rank {dst} "
+                            f"with tag {tag} were never received"
+                        ),
+                        ranks=(src, dst),
+                        details={"tag": tag, "count": len(box)},
+                    ))
+            for finding in analyze_races(self.sends, self.recvs, self.nranks):
+                self._record_locked(finding)
+            return CheckReport(
+                findings=list(self.findings),
+                events_observed=self.events_observed,
+                context=context,
+            )

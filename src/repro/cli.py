@@ -49,6 +49,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         ("comm-plan", "direct vs node-aware halo-exchange lowering (repro.comm)"),
         ("comm-plans", "plan accounting + simulated node-aware scaling sweep"),
         ("balance", "load-balancing study (compute vs communication)"),
+        ("check", "communication correctness analyzer (repro.check)"),
         ("probe", "Sect. 3 asynchronous-progress probe"),
         ("bench", "timed spMVM micro-benchmarks → BENCH_spmvm.json"),
         ("matrix", "build and describe one registry matrix"),
@@ -189,12 +190,11 @@ def _cmd_comm_plan(args: argparse.Namespace) -> int:
     from repro.sparse.partition import partition_matrix
 
     A = get_matrix(args.matrix, args.scale).build_cached()
-    if args.network == "torus":
-        cluster = cray_xe6_cluster(
-            args.nodes, message_overhead=TORUS_MESSAGE_OVERHEAD
-        )
-    else:
-        cluster = westmere_cluster(args.nodes)
+    cluster = (
+        cray_xe6_cluster(args.nodes, message_overhead=TORUS_MESSAGE_OVERHEAD)
+        if args.network == "torus"
+        else westmere_cluster(args.nodes)
+    )
     nranks = ranks_for_mode(cluster, args.mode)
     if nranks > A.nrows:
         print(f"{nranks} ranks exceed the {A.nrows}-row matrix; pick fewer nodes")
@@ -255,6 +255,68 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     write_results(results, args.output, quick=args.quick)
     print(f"\n{len(results)} results written to {args.output}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the communication correctness analyzer (dynamic + static).
+
+    Default: every spMVM scheme under both comm-plan lowerings on one
+    matrix, each run under the dynamic analyzer (deadlock/race/buffer
+    hazard/leak detection) and cross-checked against the serial kernel,
+    plus a static lint of both plans.  Exit 1 on any finding.
+
+    ``--seed-bug NAME`` instead runs a fixture containing exactly that
+    bug and exits 0 only if the matching detector fired — the live
+    demonstration (and CI guard) that the analyzer actually detects
+    what it claims to.
+    """
+    from repro.check import SEED_BUGS, check_spmvm, lint_comm_plan, run_seed_bug
+
+    if args.seed_bug is not None:
+        fired, report = run_seed_bug(args.seed_bug)
+        expected_kind = SEED_BUGS[args.seed_bug][0]
+        print(report.render(title=f"seed-bug {args.seed_bug} (expect {expected_kind})"))
+        if fired:
+            print(f"OK: the {expected_kind} detector fired")
+            return 0
+        print(f"FAIL: the {expected_kind} detector stayed silent")
+        return 2
+
+    if args.lint_only:
+        from repro.comm.plan import build_comm_plan
+        from repro.core.halo import cached_halo_plan
+        from repro.matrices import get_matrix
+
+        A = get_matrix(args.matrix, args.scale).build_cached()
+        halo = cached_halo_plan(A, args.nranks)
+        rank_node = [r // args.ranks_per_node for r in range(args.nranks)]
+        findings = []
+        for kind in ("direct", "node-aware"):
+            findings.extend(lint_comm_plan(build_comm_plan(halo, rank_node, kind), halo))
+        title = f"plan lint ({args.matrix}/{args.scale}, nranks={args.nranks})"
+        if not findings:
+            print(f"{title}: clean (both lowerings)")
+            return 0
+        print(f"{title}: {len(findings)} finding(s)")
+        for f in findings:
+            print(f"  - {f.describe()}")
+        return 1
+
+    report = check_spmvm(
+        matrix=args.matrix,
+        scale=args.scale,
+        nranks=args.nranks,
+        ranks_per_node=args.ranks_per_node,
+        iterations=args.iterations,
+    )
+    print(report.render(
+        title=(
+            f"communication check: {args.matrix}/{args.scale}, "
+            f"{args.nranks} ranks ({args.ranks_per_node}/node), "
+            f"all schemes x (direct, node-aware)"
+        )
+    ))
+    return 0 if report.ok else 1
 
 
 def _cmd_probe(_args: argparse.Namespace) -> int:
@@ -351,6 +413,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="node counts of the simulated torus sweep")
     pcs.add_argument("--no-sweep", action="store_true",
                      help="accounting tables only (skip the simulations)")
+    pk = add("check", _cmd_check)
+    pk.add_argument("--matrix", default="HMeP", choices=("HMeP", "HMEp", "sAMG"))
+    pk.add_argument("--scale", default="tiny")
+    pk.add_argument("--nranks", type=int, default=4)
+    pk.add_argument("--ranks-per-node", type=int, default=2)
+    pk.add_argument("--iterations", type=int, default=2)
+    pk.add_argument("--lint-only", action="store_true",
+                    help="static plan lint only (no instrumented runs)")
+    pk.add_argument("--seed-bug", metavar="NAME", default=None,
+                    choices=("deadlock-cycle", "collective-stall", "message-race",
+                             "buffer-hazard", "leaked-request", "plan-lint"),
+                    help="run a seeded-bug fixture and require its detector to fire")
     add("probe", _cmd_probe)
     pb = add("bench", _cmd_bench)
     pb.add_argument("--quick", action="store_true",

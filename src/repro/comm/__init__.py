@@ -7,6 +7,7 @@ from repro.comm.plan import (
     CommPlan,
     NodeEdge,
     PlanMessage,
+    PlanValidationError,
     RankScript,
     Relay,
     build_comm_plan,
@@ -25,6 +26,7 @@ __all__ = [
     "PLAN_KINDS",
     "PHASES",
     "PLAN_TAG_BASE",
+    "PlanValidationError",
     "PlanMessage",
     "Relay",
     "RankScript",

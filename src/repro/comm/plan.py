@@ -42,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 __all__ = [
     "PLAN_KINDS",
     "PHASES",
+    "PlanValidationError",
     "PlanMessage",
     "Relay",
     "RankScript",
@@ -52,6 +53,19 @@ __all__ = [
 ]
 
 PLAN_KINDS = ("direct", "node-aware")
+
+
+class PlanValidationError(AssertionError):
+    """An invalid communication plan, carrying the linter's findings.
+
+    Subclasses ``AssertionError`` because :meth:`CommPlan.validate`
+    historically asserted; callers catching that still work, and new
+    callers get the full finding list with rank/phase/channel provenance.
+    """
+
+    def __init__(self, message: str, findings: list | None = None) -> None:
+        super().__init__(message)
+        self.findings = findings or []
 
 #: Message roles, in pipeline order.  Direct plans use only ``direct``.
 PHASES = ("direct", "gather", "forward", "scatter")
@@ -189,31 +203,22 @@ class CommPlan:
         return out, inn
 
     def validate(self, halo: "HaloPlan") -> None:
-        """Check that replaying the plan delivers every halo element once.
+        """Run the full plan linter (:mod:`repro.check.lint`) against *halo*.
 
-        Raises ``AssertionError`` on any coverage gap/overlap — used by
-        the test-suite, cheap enough to run on construction in tests.
+        Raises :class:`PlanValidationError` (an ``AssertionError``
+        subclass, for backward compatibility) listing *every* violated
+        invariant — halo coverage, volume conservation, relay
+        exactly-once duties, phase topology — each naming the offending
+        rank/phase/channel.  Cheap enough to run on construction in
+        tests.
         """
-        node = self.rank_node
-        for rh in halo.ranks:
-            n_halo = rh.n_halo
-            covered = np.zeros(n_halo, dtype=np.int64)
-            # direct messages into this rank cover contiguous source slices
-            # (all pairs under a direct plan, same-node pairs otherwise)
-            pos = 0
-            for src, count in rh.recv_from:
-                if self.kind == "direct" or node[src] == node[rh.rank]:
-                    covered[pos : pos + count] += 1
-                pos += count
-            for (src_node, dst_node), edge in self.edges.items():
-                if dst_node != node[rh.rank]:
-                    continue
-                entry = edge.consumers.get(rh.rank)
-                if entry is not None:
-                    covered[entry[1]] += 1
-            assert np.all(covered == 1), (
-                f"rank {rh.rank}: halo coverage {covered.min()}..{covered.max()}"
-            )
+        from repro.check.lint import lint_comm_plan  # lazy: avoids a cycle
+
+        findings = lint_comm_plan(self, halo)
+        if findings:
+            lines = [f"invalid {self.kind} comm plan ({len(findings)} finding(s)):"]
+            lines.extend("  - " + f.describe() for f in findings)
+            raise PlanValidationError("\n".join(lines), findings)
 
 
 def _node_groups(rank_node: Sequence[int]) -> tuple[dict[int, list[int]], dict[int, int]]:

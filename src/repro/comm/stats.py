@@ -88,10 +88,11 @@ def plan_stats(plan: CommPlan, *, unique_internode_bytes: int | None = None) -> 
     factor 1.0).
     """
     nic_out, nic_in = plan.nic_bytes()
-    if unique_internode_bytes is None:
-        unique = _unique_internode_bytes(plan) if plan.edges else plan.injected_bytes()
-    else:
-        unique = unique_internode_bytes
+    unique = (
+        (_unique_internode_bytes(plan) if plan.edges else plan.injected_bytes())
+        if unique_internode_bytes is None
+        else unique_internode_bytes
+    )
     return PlanStats(
         kind=plan.kind,
         n_ranks=plan.nranks,

@@ -35,6 +35,7 @@ structure* (thread, buffers, barriers) is the real one.
 from __future__ import annotations
 
 import threading
+from typing import Any
 
 import numpy as np
 
@@ -416,6 +417,7 @@ def distributed_spmv(
     iterations: int = 1,
     comm_plan: str = "direct",
     ranks_per_node: int = 1,
+    recorder: Any = None,
 ) -> np.ndarray:
     """Compute ``A @ x`` on *nranks* mpilite ranks (the integration driver).
 
@@ -429,7 +431,8 @@ def distributed_spmv(
     ``comm_plan`` selects the halo-exchange lowering (:mod:`repro.comm`);
     ``"node-aware"`` aggregates inter-node messages through per-node
     leaders, with nodes assigned rank-major from *ranks_per_node*.
-    Results are bit-identical across lowerings.
+    Results are bit-identical across lowerings.  ``recorder`` attaches a
+    :class:`repro.check.CommRecorder` to the world (dynamic analysis).
     """
     from repro.mpilite.world import PerRank, run_spmd
 
@@ -446,7 +449,7 @@ def distributed_spmv(
             y_local = engine.multiply(x_local, scheme)
         return y_local
 
-    pieces = run_spmd(nranks, rank_fn, PerRank(plan.ranks))
+    pieces = run_spmd(nranks, rank_fn, PerRank(plan.ranks), recorder=recorder)
     return gather_vector(pieces)
 
 
@@ -460,6 +463,7 @@ def distributed_spmm(
     iterations: int = 1,
     comm_plan: str = "direct",
     ranks_per_node: int = 1,
+    recorder: Any = None,
 ) -> np.ndarray:
     """Compute the block product ``A @ X`` on *nranks* mpilite ranks.
 
@@ -485,5 +489,5 @@ def distributed_spmm(
             Y_local = engine.multiply_block(X_local, scheme)
         return Y_local
 
-    pieces = run_spmd(nranks, rank_fn, PerRank(plan.ranks))
+    pieces = run_spmd(nranks, rank_fn, PerRank(plan.ranks), recorder=recorder)
     return gather_vector(pieces)

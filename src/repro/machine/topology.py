@@ -186,7 +186,7 @@ def render_node_ascii(node: NodeSpec) -> str:
     lines = [f"Node: {node.name}  ({node.n_cores} cores, {node.n_domains} NUMA LDs)"]
     for si, sock in enumerate(node.sockets):
         lines.append(f"+-- socket {si} " + "-" * 40)
-        for di, dom in enumerate(sock.domains):
+        for dom in sock.domains:
             cores = " ".join(
                 f"[P{'/'.join(['T'] * dom.smt_per_core)}]" for _ in range(dom.n_cores)
             )

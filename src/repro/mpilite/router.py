@@ -8,23 +8,49 @@ matching MPI's standard-mode semantics for small/medium messages.
 numpy payloads are copied on send so that the sender may reuse its
 buffer immediately — the same guarantee ``MPI_Send`` gives once it
 returns.
+
+Receives may use the :data:`ANY_SOURCE` / :data:`ANY_TAG` wildcards, in
+which case the oldest matching message (by global arrival order) wins —
+the nondeterministic matching that makes wildcard receives the classic
+source of MPI message races, and exactly what the dynamic analyzer in
+:mod:`repro.check` watches for.
+
+An optional :attr:`Router.observer` (the analyzer's recorder) is
+notified of every deposit, blocked receive, and completed match; when it
+is attached, blocking receives wait in short slices so the observer can
+convert a wait-for cycle into an immediate :class:`DeadlockError`
+instead of a timeout.  With no observer the hot path is unchanged.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any
 
 import numpy as np
 
-__all__ = ["Router"]
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Router"]
+
+#: Wildcard source rank for receives (matches any sender).
+ANY_SOURCE = -1
+#: Wildcard tag for receives (matches any tag).
+ANY_TAG = -1
 
 
 def _copy_payload(payload: Any) -> Any:
     if isinstance(payload, np.ndarray):
         return payload.copy()
     return payload
+
+
+def _describe_src(src: int) -> str:
+    return "ANY_SOURCE" if src == ANY_SOURCE else str(src)
+
+
+def _describe_tag(tag: int) -> str:
+    return "ANY_TAG" if tag == ANY_TAG else str(tag)
 
 
 class Router:
@@ -35,9 +61,14 @@ class Router:
             raise ValueError(f"nranks must be positive, got {nranks}")
         self.nranks = nranks
         self._lock = threading.Condition()
-        self._boxes: dict[tuple[int, int, int], deque[Any]] = {}
+        # each box holds (arrival seq, payload) so wildcard receives can
+        # pick the globally oldest matching message
+        self._boxes: dict[tuple[int, int, int], deque[tuple[int, Any]]] = {}
         self._bytes_routed = 0
         self._messages = 0
+        #: optional :class:`repro.check.CommRecorder` (or any object with
+        #: the same observer interface); ``None`` keeps the fast path
+        self.observer: Any = None
 
     # ------------------------------------------------------------------
     def put(self, src: int, dst: int, tag: int, payload: Any) -> None:
@@ -46,36 +77,102 @@ class Router:
         self._check_rank(dst, "dst")
         item = _copy_payload(payload)
         with self._lock:
-            self._boxes.setdefault((dst, src, tag), deque()).append(item)
+            self._boxes.setdefault((dst, src, tag), deque()).append((self._messages, item))
             self._messages += 1
-            if isinstance(item, np.ndarray):
-                self._bytes_routed += item.nbytes
+            nbytes = item.nbytes if isinstance(item, np.ndarray) else 0
+            self._bytes_routed += nbytes
+            if self.observer is not None:
+                self.observer.on_send(src, dst, tag, nbytes)
             self._lock.notify_all()
 
     def get(self, dst: int, src: int, tag: int, timeout: float | None = None) -> Any:
         """Blocking receive of the next matching message.
 
-        Raises :class:`TimeoutError` if *timeout* (seconds) elapses — the
-        safety net that turns an mpilite deadlock into a test failure
-        instead of a hang.
+        *src* may be :data:`ANY_SOURCE` and *tag* may be :data:`ANY_TAG`;
+        the oldest matching message wins.  Raises :class:`TimeoutError`
+        if *timeout* (seconds) elapses — the safety net that turns an
+        mpilite deadlock into a test failure instead of a hang — naming
+        the blocked rank, the awaited peer, and the tag.
         """
-        key = (dst, src, tag)
+        self._check_rank(dst, "dst")
+        if src != ANY_SOURCE:
+            self._check_rank(src, "src")
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
-            while True:
-                box = self._boxes.get(key)
-                if box:
-                    return box.popleft()
-                if not self._lock.wait(timeout=timeout):
-                    raise TimeoutError(
-                        f"rank {dst}: no message from {src} with tag {tag} "
-                        f"after {timeout} s"
-                    )
+            key = self._match(dst, src, tag)
+            if key is not None:
+                return self._take(key, dst, src, tag)
+            obs = self.observer
+            try:
+                if obs is not None:
+                    obs.on_recv_blocked(dst, src, tag)
+                while True:
+                    remaining = None if deadline is None else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        raise TimeoutError(
+                            f"rank {dst}: blocked receive from {_describe_src(src)} "
+                            f"with tag {_describe_tag(tag)} timed out after {timeout} s"
+                        )
+                    wait_slice = remaining
+                    if obs is not None:
+                        wait_slice = (
+                            obs.poll_interval
+                            if remaining is None
+                            else min(obs.poll_interval, remaining)
+                        )
+                    self._lock.wait(timeout=wait_slice)
+                    if obs is not None:
+                        obs.check_blocked(dst)
+                    key = self._match(dst, src, tag)
+                    if key is not None:
+                        return self._take(key, dst, src, tag)
+            finally:
+                if obs is not None:
+                    obs.on_recv_unblocked(dst)
 
     def poll(self, dst: int, src: int, tag: int) -> bool:
-        """True when a matching message is waiting."""
+        """True when a matching message is waiting (wildcards allowed)."""
         with self._lock:
-            box = self._boxes.get((dst, src, tag))
-            return bool(box)
+            return self._match(dst, src, tag) is not None
+
+    def pending_messages(self) -> list[tuple[int, int, int, int]]:
+        """Deposited-but-unreceived messages as ``(src, dst, tag, count)``."""
+        with self._lock:
+            return [
+                (src, dst, tag, len(box))
+                for (dst, src, tag), box in self._boxes.items()
+                if box
+            ]
+
+    # ------------------------------------------------------------------
+    def _match(self, dst: int, src: int, tag: int) -> tuple[int, int, int] | None:
+        """Nonempty box key matching (dst, src, tag), honouring wildcards.
+
+        The caller holds the lock.  With wildcards the box whose head
+        message arrived first wins, so wildcard receives drain messages
+        in global arrival order.
+        """
+        if src != ANY_SOURCE and tag != ANY_TAG:
+            key = (dst, src, tag)
+            return key if self._boxes.get(key) else None
+        best: tuple[int, int, int] | None = None
+        best_seq = -1
+        for key, box in self._boxes.items():
+            if not box or key[0] != dst:
+                continue
+            if src != ANY_SOURCE and key[1] != src:
+                continue
+            if tag != ANY_TAG and key[2] != tag:
+                continue
+            if best is None or box[0][0] < best_seq:
+                best, best_seq = key, box[0][0]
+        return best
+
+    def _take(self, key: tuple[int, int, int], dst: int, req_src: int, req_tag: int) -> Any:
+        _seq, item = self._boxes[key].popleft()
+        if self.observer is not None:
+            self.observer.on_recv_complete(dst, key[1], key[2], req_src, req_tag)
+        return item
 
     # ------------------------------------------------------------------
     @property

@@ -24,22 +24,35 @@ def run_spmd(
     fn: Callable[..., Any],
     *args: Any,
     timeout: float = 120.0,
+    recv_timeout: float | None = None,
+    recorder: Any = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on *nranks* ranks; return results.
 
     Per-rank positional arguments may be supplied by passing a list/tuple
     whose length equals *nranks* wrapped in :class:`PerRank`.
+
+    ``recv_timeout`` is the world's default blocking-receive (and
+    collective) timeout, handed to every rank's communicator so tests can
+    shrink the safety net in one place.  ``recorder`` attaches a
+    :class:`repro.check.CommRecorder` (or a compatible observer) to the
+    router, the collective state and every communicator — the opt-in
+    dynamic correctness analyzer; pass ``None`` (the default) for the
+    uninstrumented fast path.
     """
     nranks = check_positive_int(nranks, "nranks")
     router = Router(nranks)
-    coll = CollectiveState(nranks)
+    coll = CollectiveState(nranks, timeout=recv_timeout)
+    if recorder is not None:
+        router.observer = recorder
+        coll.observer = recorder
     results: list[Any] = [None] * nranks
     errors: list[tuple[int, BaseException]] = []
     lock = threading.Lock()
 
     def runner(rank: int) -> None:
-        comm = Comm(rank, router, coll)
+        comm = Comm(rank, router, coll, default_timeout=recv_timeout, recorder=recorder)
         rank_args = tuple(a.values[rank] if isinstance(a, PerRank) else a for a in args)
         rank_kwargs = {
             k: (v.values[rank] if isinstance(v, PerRank) else v) for k, v in kwargs.items()
@@ -49,6 +62,9 @@ def run_spmd(
         except BaseException as exc:  # noqa: BLE001 - surface everything
             with lock:
                 errors.append((rank, exc))
+        finally:
+            if recorder is not None:
+                recorder.on_rank_finished(rank)
 
     threads = [
         threading.Thread(target=runner, args=(r,), name=f"mpilite-rank-{r}", daemon=True)

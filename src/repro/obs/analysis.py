@@ -80,17 +80,16 @@ def transfer_segments(
                 if active_since is None:
                     active_since = ev.time
                     transferred_at_start = float(ev.args.get("transferred", 0.0))
-            elif ev.name in ("msg_gated", "msg_completed"):
-                if active_since is not None:
-                    moved = float(ev.args.get("transferred", 0.0)) - transferred_at_start
-                    if moved > 0 or ev.time > active_since:
-                        segments.append(
-                            TransferSegment(
-                                mid=mid, src=src, dst=dst, protocol=proto,
-                                start=active_since, end=ev.time, nbytes=max(0.0, moved),
-                            )
+            elif ev.name in ("msg_gated", "msg_completed") and active_since is not None:
+                moved = float(ev.args.get("transferred", 0.0)) - transferred_at_start
+                if moved > 0 or ev.time > active_since:
+                    segments.append(
+                        TransferSegment(
+                            mid=mid, src=src, dst=dst, protocol=proto,
+                            start=active_since, end=ev.time, nbytes=max(0.0, moved),
                         )
-                    active_since = None
+                    )
+                active_since = None
     if protocol is not None:
         segments = [s for s in segments if s.protocol == protocol]
     return sorted(segments, key=lambda s: (s.start, s.mid))

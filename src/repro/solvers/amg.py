@@ -188,10 +188,11 @@ class AMGHierarchy:
         r = b - lev.A.matvec(x)
         assert lev.P is not None
         rc = lev.P.transpose().matvec(r)
-        if level + 1 == len(self.levels):
-            xc = np.linalg.solve(self.coarse_dense, rc)
-        else:
-            xc = self.vcycle(rc, level=level + 1)
+        xc = (
+            np.linalg.solve(self.coarse_dense, rc)
+            if level + 1 == len(self.levels)
+            else self.vcycle(rc, level=level + 1)
+        )
         x = x + lev.P.matvec(xc)
         return self._smooth(lev, x, b, self.post_sweeps)
 

@@ -332,8 +332,7 @@ class CSRMatrix:
         col_idx = inv[self.col_idx[gather]]
         val = self.val[gather]
         order = np.lexsort((col_idx, dest_rows))
-        out = CSRMatrix(row_ptr, col_idx[order], val[order], ncols=self.ncols, check=False)
-        return out
+        return CSRMatrix(row_ptr, col_idx[order], val[order], ncols=self.ncols, check=False)
 
     def column_mask_split(self, is_local: np.ndarray) -> tuple["CSRMatrix", "CSRMatrix"]:
         """Split into (local, nonlocal) parts by a boolean column mask.

@@ -128,7 +128,7 @@ def ascii_chart(
         frac = (y - y_lo) / (y_hi - y_lo)
         return min(height - 1, max(0, int(round((1.0 - frac) * (height - 1)))))
 
-    for idx, (name, data) in enumerate(series.items()):
+    for idx, (_name, data) in enumerate(series.items()):
         marker = _MARKERS[idx % len(_MARKERS)]
         for x, y in data:
             grid[to_row(y)][to_col(x)] = marker
@@ -141,7 +141,7 @@ def ascii_chart(
         lines.append("|" + "".join(row))
     lines.append("+" + "-" * width)
     lines.append(f" {xlabel}: {x_lo:.3g} .. {x_hi:.3g}")
-    for idx, name in enumerate(series.keys()):
+    for idx, name in enumerate(series):
         lines.append(f"  {_MARKERS[idx % len(_MARKERS)]} = {name}")
     return "\n".join(lines)
 

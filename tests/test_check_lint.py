@@ -1,0 +1,186 @@
+"""Static plan linter: clean plans pass, every mutation class is rejected."""
+
+import copy
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import lint_comm_plan
+from repro.comm.plan import PlanValidationError, build_comm_plan
+from repro.core import build_halo_plan
+from repro.matrices import random_sparse
+from repro.sparse import partition_matrix
+
+NRANKS = 6
+RANK_NODE = [r // 2 for r in range(NRANKS)]  # 3 nodes, 2 ranks each
+
+
+@pytest.fixture(scope="module")
+def halo():
+    A = random_sparse(300, nnzr=9, seed=11)
+    return build_halo_plan(A, partition_matrix(A, NRANKS), with_matrices=False)
+
+
+@pytest.fixture(scope="module")
+def node_plan(halo):
+    return build_comm_plan(halo, RANK_NODE, "node-aware")
+
+
+@pytest.fixture(scope="module")
+def direct_plan(halo):
+    return build_comm_plan(halo, RANK_NODE, "direct")
+
+
+# ----------------------------------------------------------------------
+# clean plans lint clean
+# ----------------------------------------------------------------------
+def test_valid_plans_have_no_findings(halo, node_plan, direct_plan):
+    assert lint_comm_plan(direct_plan, halo) == []
+    assert lint_comm_plan(node_plan, halo) == []
+
+
+def test_validate_passes_on_valid_plans(halo, node_plan, direct_plan):
+    direct_plan.validate(halo)
+    node_plan.validate(halo)
+
+
+# ----------------------------------------------------------------------
+# targeted mutations, one per invariant family
+# ----------------------------------------------------------------------
+def _fresh(plan):
+    return copy.deepcopy(plan)
+
+
+def test_dropped_relay_is_rejected(halo, node_plan):
+    plan = _fresh(node_plan)
+    victim = next(s for s in plan.scripts if s.relays)
+    relay = victim.relays.pop()
+    findings = lint_comm_plan(plan, halo)
+    assert findings
+    # the relay's send channels are now never sent
+    flagged = {f.channel for f in findings}
+    assert set(relay.send_channels) & flagged
+
+
+def test_duplicated_element_is_rejected(halo, node_plan):
+    plan = _fresh(node_plan)
+    edge = next(e for e in plan.edges.values() if e.contributors)
+    rank, pos = next(iter(edge.contributors.items()))
+    edge.contributors[rank] = np.concatenate([pos, pos[:1]])  # gathered twice
+    findings = lint_comm_plan(plan, halo)
+    assert any("instead of exactly once" in f.message for f in findings)
+
+
+def test_inflated_volume_is_rejected(halo, node_plan):
+    plan = _fresh(node_plan)
+    ch = plan.messages[-1].channel
+    plan.messages[ch] = dataclasses.replace(
+        plan.messages[ch], n_elements=plan.messages[ch].n_elements + 3
+    )
+    findings = lint_comm_plan(plan, halo)
+    assert any(f.channel == ch for f in findings)
+
+
+def test_self_send_is_rejected(halo, node_plan):
+    plan = _fresh(node_plan)
+    m = plan.messages[0]
+    plan.messages[0] = dataclasses.replace(m, dst=m.src, dst_node=m.src_node)
+    findings = lint_comm_plan(plan, halo)
+    assert any("sends to itself" in f.message for f in findings)
+
+
+def test_forward_not_between_leaders_is_rejected(halo, node_plan):
+    plan = _fresh(node_plan)
+    ch = next(m.channel for m in plan.messages if m.phase == "forward")
+    m = plan.messages[ch]
+    bad_src = next(
+        r for r in range(NRANKS)
+        if RANK_NODE[r] == m.src_node and r != plan.leaders[m.src_node]
+    )
+    plan.messages[ch] = dataclasses.replace(m, src=bad_src)
+    findings = lint_comm_plan(plan, halo)
+    assert any("leader-to-leader" in f.message for f in findings)
+
+
+def test_dropped_receive_is_rejected(halo, node_plan):
+    plan = _fresh(node_plan)
+    ch = plan.scripts[0].recv_channels[0]
+    plan.scripts[0].recv_channels.remove(ch)
+    findings = lint_comm_plan(plan, halo)
+    assert any(f.channel == ch and "received 0 times" in f.message for f in findings)
+
+
+def test_relay_dependency_cycle_is_rejected(node_plan):
+    from repro.comm.plan import Relay
+
+    plan = _fresh(node_plan)
+    script = next(s for s in plan.scripts if s.relays)
+    relay = script.relays[0]
+    # make the relay's output feed its own input: an impossible ordering
+    loop = Relay(
+        recv_channels=relay.send_channels, send_channels=relay.recv_channels
+    )
+    script.relays.append(loop)
+    findings = lint_comm_plan(plan)
+    assert any("cycle" in f.message for f in findings)
+
+
+def test_validate_raises_with_full_provenance(halo, node_plan):
+    plan = _fresh(node_plan)
+    ch = plan.scripts[0].recv_channels[0]
+    plan.scripts[0].recv_channels.remove(ch)
+    with pytest.raises(PlanValidationError) as excinfo:
+        plan.validate(halo)
+    text = str(excinfo.value)
+    assert f"channel {ch}" in text
+    assert excinfo.value.findings  # structured findings ride along
+    assert isinstance(excinfo.value, AssertionError)  # backward compatible
+
+
+# ----------------------------------------------------------------------
+# property: every mutation in these families is always rejected
+# ----------------------------------------------------------------------
+_MUTATIONS = ("drop-relay", "drop-recv", "drop-send", "inflate", "duplicate", "shift-dst")
+
+
+@settings(max_examples=60, deadline=None)
+@given(kind=st.sampled_from(_MUTATIONS), pick=st.integers(min_value=0, max_value=10_000))
+def test_mutated_plans_are_always_rejected(halo, node_plan, kind, pick):
+    plan = _fresh(node_plan)
+    if kind == "drop-relay":
+        scripts = [s for s in plan.scripts if s.relays]
+        s = scripts[pick % len(scripts)]
+        s.relays.pop(pick % len(s.relays))
+    elif kind == "drop-recv":
+        scripts = [s for s in plan.scripts if s.recv_channels]
+        s = scripts[pick % len(scripts)]
+        s.recv_channels.pop(pick % len(s.recv_channels))
+    elif kind == "drop-send":
+        scripts = [s for s in plan.scripts if s.send_channels]
+        s = scripts[pick % len(scripts)]
+        ch = s.send_channels.pop(pick % len(s.send_channels))
+        s.n_packed_elements -= plan.messages[ch].n_elements
+    elif kind == "inflate":
+        ch = pick % len(plan.messages)
+        plan.messages[ch] = dataclasses.replace(
+            plan.messages[ch], n_elements=plan.messages[ch].n_elements + 1
+        )
+    elif kind == "duplicate":
+        edges = [e for e in plan.edges.values() if e.contributors]
+        edge = edges[pick % len(edges)]
+        ranks = sorted(edge.contributors)
+        rank = ranks[pick % len(ranks)]
+        pos = edge.contributors[rank]
+        edge.contributors[rank] = np.concatenate([pos, pos[:1]])
+    else:  # shift-dst: reroute a message to a different rank
+        ch = pick % len(plan.messages)
+        m = plan.messages[ch]
+        candidates = [r for r in range(NRANKS) if r not in (m.src, m.dst)]
+        new_dst = candidates[pick % len(candidates)]
+        plan.messages[ch] = dataclasses.replace(
+            m, dst=new_dst, dst_node=RANK_NODE[new_dst]
+        )
+    assert lint_comm_plan(plan, halo), f"mutation {kind}/{pick} went undetected"

@@ -235,7 +235,7 @@ def test_mass_conservation_many_flows(rng):
     net = FlowNetwork(sim, {i: (lambda w: 7.0) for i in range(5)})
     sizes = rng.uniform(1.0, 50.0, size=40)
     done = []
-    for k, s in enumerate(sizes):
+    for s in sizes:
         f = net.start_flow(float(s), {int(rng.integers(5)): 1.0})
         f.done.add_callback(lambda _f: done.append(sim.now))
     sim.run()
