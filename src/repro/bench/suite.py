@@ -10,7 +10,10 @@ Three groups mirror the layers of the implementation:
   message per peer per sweep, k columns per message when batched), plus
   the node-aware lowering (``repro.comm``: intra-node gather, one
   aggregated message per node pair, intra-node scatter) with its plan
-  accounting attached as derived figures.
+  accounting attached as derived figures;
+* ``program`` — the sweep-IR guard: the fixed dispatch cost of
+  :func:`repro.program.execute_sweep` must stay under 5% of the
+  single-rank spmv hot path (asserted, not just reported).
 
 Every result carries a ``gflops`` derived figure (2 flops per nonzero
 per right-hand side, from the minimum sample) so the batching win shows
@@ -176,6 +179,79 @@ def _comm_plan_benches(
     ]
 
 
+def _program_overhead_bench(
+    rng: np.random.Generator, *, warmup: int, repeat: int
+) -> list[BenchResult]:
+    """Guard: sweep-interpreter indirection on the single-rank spmv hot path.
+
+    Every multiply now runs through :func:`repro.program.execute_sweep`,
+    which adds a fixed per-sweep dispatch cost (op loop + handler
+    lookups).  Differencing two large-matrix timings drowns that cost in
+    memory-traffic noise, so it is measured where it is visible — a
+    single-rank engine on a tiny matrix, interpreter vs. the same
+    arithmetic hand-inlined — and reported relative to a hot-path spmv
+    at the quick bench size.  The guard asserts the ratio stays below
+    ``GUARD``; a regression here means the interpreter grew a per-op
+    cost it must not have.
+    """
+    from repro.core.halo import cached_halo_plan
+    from repro.core.spmvm import DistributedSpMVM
+    from repro.mpilite.comm import CollectiveState, Comm
+    from repro.mpilite.router import Router
+    from repro.sparse.spmv import spmv_add
+
+    GUARD = 0.05
+    tiny = random_sparse(64, nnzr=5.0, seed=11, ensure_diagonal=True)
+    thalo = cached_halo_plan(tiny, 1, with_matrices=True).ranks[0]
+    tengine = DistributedSpMVM(Comm(0, Router(1), CollectiveState(1)), thalo)
+    tx = rng.standard_normal(tiny.ncols)
+
+    def inlined():
+        # the pre-IR hot path: the same arithmetic with no op loop
+        y = spmv(thalo.A_local, tx)
+        spmv_add(thalo.A_remote, tengine.halo_view(tengine.sweep_buffers(tx)[0]), out=y)
+        return y
+
+    micro_repeat = max(repeat, 200)
+    interp = time_callable(
+        lambda: tengine.multiply(tx, "no_overlap"), warmup=warmup, repeat=micro_repeat
+    )
+    inline = time_callable(inlined, warmup=warmup, repeat=micro_repeat)
+    indirection = max(0.0, interp.min - inline.min)
+
+    hot = random_sparse(4_000, nnzr=15.0, seed=11, ensure_diagonal=True)
+    hhalo = cached_halo_plan(hot, 1, with_matrices=True).ranks[0]
+    hengine = DistributedSpMVM(Comm(0, Router(1), CollectiveState(1)), hhalo)
+    hx = rng.standard_normal(hot.ncols)
+    hot_stats = time_callable(
+        lambda: hengine.multiply(hx, "no_overlap"), warmup=max(warmup, 1), repeat=max(repeat, 5)
+    )
+    ratio = indirection / hot_stats.min
+    if ratio >= GUARD:
+        raise AssertionError(
+            f"sweep-interpreter indirection is {ratio:.1%} of the single-rank "
+            f"spmv hot path (guard: < {GUARD:.0%}); the interpreter grew a "
+            f"per-op cost the IR refactor promised not to add"
+        )
+    return [
+        BenchResult(
+            name="program-overhead", group="program",
+            warmup=warmup, repeat=micro_repeat, seconds=interp,
+            params={
+                "nrows": hot.nrows, "nnz": hot.nnz, "tiny_nrows": tiny.nrows,
+                "scheme": "no_overlap", "nranks": 1,
+            },
+            derived={
+                "gflops": _gflops(hot.nnz, 1, hot_stats.min),
+                "indirection_seconds": indirection,
+                "hot_path_seconds": hot_stats.min,
+                "overhead_vs_hot_path": ratio,
+                "guard_max": GUARD,
+            },
+        )
+    ]
+
+
 def spmvm_suite(
     *,
     quick: bool = False,
@@ -202,4 +278,5 @@ def spmvm_suite(
     results += _distributed_benches(
         A, rng, nranks=nranks, scheme=scheme, warmup=warmup, repeat=repeat
     )
+    results += _program_overhead_bench(rng, warmup=warmup, repeat=repeat)
     return results

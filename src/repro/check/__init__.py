@@ -9,7 +9,10 @@ Two prongs (see DESIGN.md):
   drive instrumented runs end to end;
 * **static** — :func:`lint_comm_plan` proves plan-level invariants
   (volume conservation, exactly-once relaying, phase ordering) before
-  anything runs.
+  anything runs, and :func:`lint_sweep_program` does the same for the
+  sweep IR (:mod:`repro.program`): request lifecycle, comm-thread
+  region balance, barrier placement — verified once on the program,
+  instead of per hand-rolled scheme implementation.
 
 ``repro check`` is the CLI entry; :data:`SEED_BUGS` are the seeded-bug
 fixtures demonstrating every detector firing.
@@ -27,6 +30,7 @@ from repro.check.fixtures import SEED_BUGS, run_seed_bug
 from repro.check.lint import lint_comm_plan
 from repro.check.races import analyze_races
 from repro.check.recorder import CommRecorder, DeadlockError
+from repro.program.lint import lint_sweep_program, lint_sweep_programs
 
 __all__ = [
     "FINDING_KINDS",
@@ -38,6 +42,8 @@ __all__ = [
     "DeadlockError",
     "analyze_races",
     "lint_comm_plan",
+    "lint_sweep_program",
+    "lint_sweep_programs",
     "run_checked",
     "check_spmvm",
     "sim_teardown_findings",

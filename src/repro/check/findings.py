@@ -25,6 +25,7 @@ FINDING_KINDS = (
     "leaked-request",
     "unconsumed-message",
     "plan-lint",
+    "program-lint",
 )
 
 

@@ -269,8 +269,29 @@ def _cmd_check(args: argparse.Namespace) -> int:
     bug and exits 0 only if the matching detector fired — the live
     demonstration (and CI guard) that the analyzer actually detects
     what it claims to.
+
+    ``--programs`` statically lints every sweep program the builders can
+    emit (scheme x lowering x block width, :mod:`repro.program`) — the
+    one place the Fig. 4 phase orderings live now that both backends
+    dispatch through the IR.
     """
     from repro.check import SEED_BUGS, check_spmvm, lint_comm_plan, run_seed_bug
+
+    if args.programs:
+        from repro.program import all_sweep_programs, lint_sweep_programs
+
+        programs = all_sweep_programs()
+        findings = lint_sweep_programs(programs)
+        title = f"sweep-program lint ({len(programs)} programs)"
+        if not findings:
+            for program in programs:
+                print(f"  {program.describe()}")
+            print(f"{title}: clean")
+            return 0
+        print(f"{title}: {len(findings)} finding(s)")
+        for f in findings:
+            print(f"  - {f.describe()}")
+        return 1
 
     if args.seed_bug is not None:
         fired, report = run_seed_bug(args.seed_bug)
@@ -421,6 +442,8 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("--iterations", type=int, default=2)
     pk.add_argument("--lint-only", action="store_true",
                     help="static plan lint only (no instrumented runs)")
+    pk.add_argument("--programs", action="store_true",
+                    help="lint every sweep program (repro.program builders) and exit")
     pk.add_argument("--seed-bug", metavar="NAME", default=None,
                     choices=("deadlock-cycle", "collective-stall", "message-race",
                              "buffer-hazard", "leaked-request", "plan-lint"),

@@ -20,6 +20,12 @@ of the order ranks reach :meth:`finish`.  Every index array works on
 1-D vectors and ``(n, k)`` blocks alike (axis-0 indexing), and since
 the exchange only ever *copies* float64 payloads, results are
 bit-identical to the direct path by construction.
+
+In sweep-IR terms (:mod:`repro.program`) this class is the ``plan``
+lowering of the communication ops: ``POST_RECVS`` maps to
+:meth:`post_receives`, ``POST_SENDS`` to :meth:`initial_sends` (packing
+fused in, so the program's ``PACK`` is a no-op under this lowering) and
+``WAITALL`` to :meth:`finish` — see ``repro.program.exec``.
 """
 
 from __future__ import annotations

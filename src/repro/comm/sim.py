@@ -1,8 +1,9 @@
 """Replaying a communication plan inside the performance simulator.
 
 One :class:`SimExchange` per rank drives the plan's messages through the
-simulated MPI: sweep-start sends and receives are posted exactly where
-the schemes used to post their per-peer halo messages, and every
+simulated MPI: sweep-start sends and receives are posted where the sweep
+program's ``POST_SENDS``/``POST_RECVS`` ops execute (the ``plan``
+lowering in ``repro.program.sim``), and every
 :class:`~repro.comm.plan.Relay` (a leader waiting for intra-node gathers
 before forwarding, or for a forward before scattering) becomes a spawned
 simulator subprocess.  Relay sends inherit the full MPI progress

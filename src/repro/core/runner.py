@@ -102,6 +102,7 @@ def simulate_from_plan(
     block_k: int = 1,
     comm_plan: str = "direct",
     trace: bool = False,
+    op_logs: dict[int, list[str]] | None = None,
 ) -> SimulationResult:
     """Simulate a prepared halo plan on *cluster*.
 
@@ -115,7 +116,10 @@ def simulate_from_plan(
     (:mod:`repro.comm`): ``"direct"`` replays one message per rank pair,
     ``"node-aware"`` aggregates inter-node traffic through per-node
     leader ranks (gather/forward/scatter, priced on the ``intra_*``
-    resources and the NIC/torus respectively).
+    resources and the NIC/torus respectively).  ``op_logs``, when given,
+    collects each rank's executed sweep-op sequence (rank → signature
+    tokens in issue order, all iterations) — the simulated half of the
+    golden cross-backend comparison in ``tests/test_program_golden.py``.
     """
     check_in(scheme, SIM_SCHEMES, "scheme")
     check_in(comm_plan, PLAN_KINDS, "comm_plan")
@@ -165,7 +169,11 @@ def simulate_from_plan(
             comm=SimExchange(cplan, placement.rank),
         )
         contexts.append(ctx)
-        sim.spawn(rank_process(ctx, scheme, iterations), name=f"rank{placement.rank}")
+        op_log = op_logs.setdefault(placement.rank, []) if op_logs is not None else None
+        sim.spawn(
+            rank_process(ctx, scheme, iterations, op_log=op_log),
+            name=f"rank{placement.rank}",
+        )
     sim.run()
     total = max(ctx.finish_times[-1] for ctx in contexts)
     return SimulationResult(

@@ -14,6 +14,13 @@ schemes differ only in *ordering and concurrency* of the same phases:
   exchange inside ``Waitall`` (holding the MPI progress gate open) while
   the compute threads run gather/local-spMVM; OpenMP-style barriers
   separate the phases.
+
+That ordering is not hand-rolled here: each scheme's phase sequence is
+a sweep program from :func:`repro.program.build_sweep` — the same
+program the mpilite backend executes on real data — interpreted by
+:func:`repro.program.sweep_process` against this rank's context.  This
+module keeps what is simulator-specific: :class:`RankContext` (the
+rank's view of machine, costs, halo, and trace) and the iteration loop.
 """
 
 from __future__ import annotations
@@ -25,10 +32,11 @@ from repro.comm.sim import SimExchange
 from repro.core.costs import PhaseCosts
 from repro.core.halo import RankHalo
 from repro.frame.core import Simulator
-from repro.frame.events import SimEvent
 from repro.frame.resources import FlowNetwork
 from repro.frame.trace import TraceRecorder
 from repro.machine.affinity import RankPlacement
+from repro.program.build import build_sweep
+from repro.program.sim import sweep_process
 from repro.smpi.api import SimMPI
 from repro.util import check_in
 
@@ -108,82 +116,29 @@ class RankContext:
             self.trace.record(f"rank{self.rank}{actor_suffix}", label, t0, self.sim.now)
 
 
-def _post_receives(ctx: RankContext, tag: int) -> list:
-    if ctx.comm is not None:
-        return ctx.comm.post_receives(ctx, tag)
-    # one message per peer per sweep; a batched sweep carries all
-    # block_k columns of the segment in that single message
-    return [
-        ctx.mpi.irecv(ctx.rank, src, 8 * ctx.block_k * count, tag)
-        for src, count in ctx.halo.recv_from
-    ]
-
-def _post_sends(ctx: RankContext, tag: int) -> list:
-    if ctx.comm is not None:
-        return ctx.comm.post_sends(ctx, tag)
-    return [
-        ctx.mpi.isend(ctx.rank, dst, 8 * ctx.block_k * count, tag)
-        for dst, count in ctx.halo.send_to
-    ]
-
-
-def _vector_iteration(ctx: RankContext, tag: int, overlap: bool) -> Generator:
-    recvs = _post_receives(ctx, tag)
-    yield from ctx.compute("gather", ctx.costs.gather)
-    sends = _post_sends(ctx, tag)
-    if overlap:
-        # Fig. 4b: the local spMVM is *meant* to overlap the transfers;
-        # whether it does is up to the MPI progress model.
-        yield from ctx.compute("local spMVM", ctx.costs.local_spmv)
-        t0 = ctx.sim.now
-        yield from ctx.mpi.waitall(ctx.rank, recvs + sends)
-        ctx.record("", "MPI_Waitall", t0)
-        yield from ctx.compute("remote spMVM", ctx.costs.remote_spmv)
-    else:
-        # Fig. 4a: communicate first, then one full-kernel spMVM.
-        t0 = ctx.sim.now
-        yield from ctx.mpi.waitall(ctx.rank, recvs + sends)
-        ctx.record("", "MPI_Waitall", t0)
-        yield from ctx.compute("full spMVM", ctx.costs.full_spmv)
-
-
-def _task_iteration(ctx: RankContext, tag: int) -> Generator:
-    recvs = _post_receives(ctx, tag)
-    gather_done: SimEvent = ctx.sim.event()
-    comm_finished: SimEvent = ctx.sim.event()
-
-    def comm_thread() -> Generator:
-        # Fig. 4c: the dedicated thread executes MPI calls only.  Sends go
-        # out once the compute threads finish filling the buffers; the
-        # thread then sits in Waitall, keeping the progress gate open.
-        yield gather_done
-        sends = _post_sends(ctx, tag)
-        t0 = ctx.sim.now
-        yield from ctx.mpi.waitall(ctx.rank, recvs + sends)
-        ctx.record(":comm", "MPI_Waitall", t0)
-        comm_finished.succeed()
-
-    ctx.sim.spawn(comm_thread(), name=f"rank{ctx.rank}-comm")
-    yield from ctx.compute("gather", ctx.costs.gather)
-    yield from ctx.omp_barrier()
-    gather_done.succeed()
-    yield from ctx.compute("local spMVM", ctx.costs.local_spmv)
-    yield comm_finished
-    yield from ctx.omp_barrier()
-    yield from ctx.compute("remote spMVM", ctx.costs.remote_spmv)
-
-
-def rank_process(ctx: RankContext, scheme: str, iterations: int) -> Generator:
+def rank_process(
+    ctx: RankContext,
+    scheme: str,
+    iterations: int,
+    *,
+    op_log: list[str] | None = None,
+) -> Generator:
     """The full life of one simulated rank: *iterations* back-to-back MVMs.
 
-    Iterations are tagged so messages of successive sweeps cannot be
-    confused; ranks drift freely (no global barrier), as in the real
-    benchmark loop.
+    Builds the scheme's sweep program once (the same
+    :func:`repro.program.build_sweep` output the real backend executes)
+    and interprets it per iteration.  Iterations are tagged so messages
+    of successive sweeps cannot be confused; ranks drift freely (no
+    global barrier), as in the real benchmark loop.  ``op_log`` receives
+    the executed op sequence of every sweep in issue order (the
+    simulated half of the golden cross-backend comparison).
     """
     check_in(scheme, SIM_SCHEMES, "scheme")
+    program = build_sweep(
+        scheme,
+        block_k=ctx.block_k,
+        comm_plan="plan" if ctx.comm is not None else "classic",
+    )
     for it in range(iterations):
-        if scheme == "task_mode":
-            yield from _task_iteration(ctx, it)
-        else:
-            yield from _vector_iteration(ctx, it, overlap=(scheme == "naive_overlap"))
+        yield from sweep_process(ctx, program, it, op_log=op_log)
         ctx.finish_times.append(ctx.sim.now)

@@ -3,7 +3,7 @@
 This is the paper's kernel, actually running: each mpilite rank owns a
 row block, the matching slices of the RHS/result vectors, and the
 communication plan from :func:`repro.core.halo.build_halo_plan`.  All
-three execution schemes of Fig. 4 are implemented:
+three execution schemes of Fig. 4 are available:
 
 * ``no_overlap``   — gather, exchange, then one full spMVM (Fig. 4a),
 * ``naive_overlap``— nonblocking exchange "overlapped" with the local
@@ -12,14 +12,16 @@ three execution schemes of Fig. 4 are implemented:
 * ``task_mode``    — a dedicated communication thread completes the
   exchange while the caller computes the local part (Fig. 4c).
 
-The numerical result is identical in every scheme: the local part is
-accumulated before the remote part, row by row.
-
-Batched multi-RHS execution (:meth:`DistributedSpMVM.multiply_block`)
-applies the operator to k right-hand sides per halo exchange: each peer
-receives its halo segment for *all* k columns in **one message per
-batch** instead of k, amortising the per-MVM message count and latency
-that set the paper's scalability knee.
+The phase ordering of each scheme lives in exactly one place: the sweep
+IR (:func:`repro.program.build_sweep`).  :class:`DistributedSpMVM` owns
+the long-lived per-rank state — communicator, halo bookkeeping,
+preallocated buffers, split sub-matrices — and hands every multiply to
+the real-execution interpreter (:func:`repro.program.execute_sweep`),
+which runs the scheme's program op by op.  spmv and batched multi-RHS
+spmm are the k = 1 / k > 1 cases of that one interpreter, and the
+classic and node-aware exchanges are two lowerings of its communication
+ops.  The numerical result is identical in every scheme and lowering:
+the local part is accumulated before the remote part, row by row.
 
 The hot paths are allocation-free: halo and per-peer send buffers are
 preallocated once and refilled with ``np.take(..., out=...)`` — the
@@ -34,7 +36,6 @@ structure* (thread, buffers, barriers) is the real one.
 
 from __future__ import annotations
 
-import threading
 from typing import Any
 
 import numpy as np
@@ -43,10 +44,11 @@ from repro.comm.exec import RankExchange
 from repro.comm.plan import PLAN_KINDS, CommPlan, cached_comm_plan
 from repro.core.halo import RankHalo, cached_halo_plan
 from repro.mpilite.comm import Comm
+from repro.program.build import build_sweep
+from repro.program.exec import execute_sweep
+from repro.program.ir import SweepProgram
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.partition import RowPartition
-from repro.sparse.spmm import spmm, spmm_add
-from repro.sparse.spmv import spmv, spmv_add
 from repro.util import check_in
 
 __all__ = [
@@ -54,6 +56,7 @@ __all__ = [
     "DistributedSpMVM",
     "distributed_spmv",
     "distributed_spmm",
+    "lower_comm_plan",
     "scatter_vector",
     "gather_vector",
 ]
@@ -92,7 +95,8 @@ class DistributedSpMVM:
             raise ValueError(f"halo is for rank {halo.rank}, communicator is rank {comm.rank}")
         self.comm = comm
         self.halo = halo
-        self._exchange = (
+        #: compiled node-aware exchange, or None for the classic lowering
+        self.exchange = (
             RankExchange(comm_plan, halo)
             if comm_plan is not None and comm_plan.kind == "node-aware"
             else None
@@ -106,6 +110,7 @@ class DistributedSpMVM:
         }
         # block (k-column) buffers, grown lazily per batch width
         self._block_bufs: dict[int, tuple[np.ndarray, dict[int, np.ndarray]]] = {}
+        self._programs: dict[str, SweepProgram] = {}
         self.iterations = 0
 
     def _build_offsets(self) -> dict[int, tuple[int, int]]:
@@ -133,9 +138,30 @@ class DistributedSpMVM:
             self._block_bufs[k] = bufs
         return bufs
 
+    def program(self, scheme: str) -> SweepProgram:
+        """The (cached) sweep program this engine runs for *scheme*."""
+        prog = self._programs.get(scheme)
+        if prog is None:
+            prog = build_sweep(
+                scheme,
+                comm_plan="plan" if self.exchange is not None else "classic",
+            )
+            self._programs[scheme] = prog
+        return prog
+
     # ------------------------------------------------------------------
-    def multiply(self, x_local: np.ndarray, scheme: str = "task_mode") -> np.ndarray:
-        """One distributed MVM: returns this rank's slice of ``A @ x``."""
+    def multiply(
+        self,
+        x_local: np.ndarray,
+        scheme: str = "task_mode",
+        *,
+        op_log: list[str] | None = None,
+    ) -> np.ndarray:
+        """One distributed MVM: returns this rank's slice of ``A @ x``.
+
+        ``op_log``, when given, receives the executed op sequence (the
+        program's signature tokens) — see :func:`repro.program.execute_sweep`.
+        """
         check_in(scheme, SCHEMES, "scheme")
         x_local = np.asarray(x_local, dtype=np.float64)
         if x_local.shape != (self.halo.n_rows,):
@@ -143,22 +169,23 @@ class DistributedSpMVM:
                 f"x_local must have shape ({self.halo.n_rows},), got {x_local.shape}"
             )
         self.iterations += 1
-        if self._exchange is not None:
-            return self._multiply_plan(x_local, scheme)
-        if scheme == "no_overlap":
-            return self._multiply_no_overlap(x_local)
-        if scheme == "naive_overlap":
-            return self._multiply_naive_overlap(x_local)
-        return self._multiply_task_mode(x_local)
+        return execute_sweep(self, self.program(scheme), x_local, op_log=op_log)
 
-    def multiply_block(self, X_local: np.ndarray, scheme: str = "task_mode") -> np.ndarray:
+    def multiply_block(
+        self,
+        X_local: np.ndarray,
+        scheme: str = "task_mode",
+        *,
+        op_log: list[str] | None = None,
+    ) -> np.ndarray:
         """One batched distributed MVM over k right-hand sides.
 
         Returns this rank's ``(n_rows, k)`` slice of ``A @ X``.  Column
         ``j`` is bit-identical to ``multiply(X[:, j], scheme)``, but the
         halo exchange moves each peer's segment for all k columns in a
         single message — one message per peer per *batch* instead of
-        per vector.
+        per vector.  Runs the *same* sweep program as :meth:`multiply`;
+        only the buffers and kernels are k-column wide.
         """
         check_in(scheme, SCHEMES, "scheme")
         X_local = np.asarray(X_local, dtype=np.float64)
@@ -167,214 +194,52 @@ class DistributedSpMVM:
                 f"X_local must have shape ({self.halo.n_rows}, k), got {X_local.shape}"
             )
         self.iterations += 1
-        halo_block, send_blocks = self._block_buffers(X_local.shape[1])
-        if self._exchange is not None:
-            return self._multiply_block_plan(X_local, scheme, halo_block)
-        if scheme == "no_overlap":
-            return self._multiply_block_no_overlap(X_local, halo_block, send_blocks)
-        if scheme == "naive_overlap":
-            return self._multiply_block_naive_overlap(X_local, halo_block, send_blocks)
-        return self._multiply_block_task_mode(X_local, halo_block, send_blocks)
+        return execute_sweep(self, self.program(scheme), X_local, op_log=op_log)
 
-    # -- Fig. 4a -------------------------------------------------------
-    def _multiply_no_overlap(self, x: np.ndarray) -> np.ndarray:
-        recvs = self._post_receives()
-        self._send_halo(x)
-        self._complete_receives(recvs)
-        y = spmv(self.halo.A_local, x)
-        spmv_add(self.halo.A_remote, self._halo_view(), out=y)
-        return y
+    # -- state the interpreter's op handlers drive ---------------------
+    def sweep_buffers(self, x: np.ndarray) -> tuple[np.ndarray, dict[int, np.ndarray]]:
+        """(halo landing buffer, per-peer send buffers) for input *x*."""
+        if x.ndim == 2:
+            return self._block_buffers(x.shape[1])
+        return self._halo_buf, self._send_bufs
 
-    def _multiply_block_no_overlap(
-        self, X: np.ndarray, halo_block: np.ndarray, send_blocks: dict[int, np.ndarray]
-    ) -> np.ndarray:
-        recvs = self._post_receives()
-        self._send_halo_block(X, send_blocks)
-        self._complete_block_receives(recvs, halo_block)
-        Y = spmm(self.halo.A_local, X)
-        spmm_add(self.halo.A_remote, self._halo_block_view(halo_block, X.shape[1]), out=Y)
-        return Y
-
-    # -- Fig. 4b -------------------------------------------------------
-    def _multiply_naive_overlap(self, x: np.ndarray) -> np.ndarray:
-        recvs = self._post_receives()
-        self._send_halo(x)
-        y = spmv(self.halo.A_local, x)  # the intended overlap window
-        self._complete_receives(recvs)
-        spmv_add(self.halo.A_remote, self._halo_view(), out=y)
-        return y
-
-    def _multiply_block_naive_overlap(
-        self, X: np.ndarray, halo_block: np.ndarray, send_blocks: dict[int, np.ndarray]
-    ) -> np.ndarray:
-        recvs = self._post_receives()
-        self._send_halo_block(X, send_blocks)
-        Y = spmm(self.halo.A_local, X)  # the intended overlap window
-        self._complete_block_receives(recvs, halo_block)
-        spmm_add(self.halo.A_remote, self._halo_block_view(halo_block, X.shape[1]), out=Y)
-        return Y
-
-    # -- Fig. 4c -------------------------------------------------------
-    def _multiply_task_mode(self, x: np.ndarray) -> np.ndarray:
-        recvs = self._post_receives()
-        self._fill_send_bufs(x)
-        error: list[BaseException] = []
-
-        def comm_worker() -> None:
-            try:
-                for dst, buf in self._send_bufs.items():
-                    self.comm.Send(buf, dst, _HALO_TAG)
-                self._complete_receives(recvs)
-            except BaseException as exc:  # noqa: BLE001
-                error.append(exc)
-
-        t = threading.Thread(target=comm_worker, name=f"comm-thread-{self.comm.rank}")
-        t.start()
-        y = spmv(self.halo.A_local, x)  # compute threads: local part
-        t.join()
-        if error:
-            raise RuntimeError(f"communication thread failed: {error[0]!r}") from error[0]
-        spmv_add(self.halo.A_remote, self._halo_view(), out=y)
-        return y
-
-    def _multiply_block_task_mode(
-        self, X: np.ndarray, halo_block: np.ndarray, send_blocks: dict[int, np.ndarray]
-    ) -> np.ndarray:
-        recvs = self._post_receives()
-        for dst, idx in self.halo.send_indices.items():
-            np.take(X, idx, axis=0, out=send_blocks[dst])
-        error: list[BaseException] = []
-
-        def comm_worker() -> None:
-            try:
-                for dst, buf in send_blocks.items():
-                    self.comm.Send(buf, dst, _HALO_TAG)
-                self._complete_block_receives(recvs, halo_block)
-            except BaseException as exc:  # noqa: BLE001
-                error.append(exc)
-
-        t = threading.Thread(target=comm_worker, name=f"comm-thread-{self.comm.rank}")
-        t.start()
-        Y = spmm(self.halo.A_local, X)  # compute threads: local part
-        t.join()
-        if error:
-            raise RuntimeError(f"communication thread failed: {error[0]!r}") from error[0]
-        spmm_add(self.halo.A_remote, self._halo_block_view(halo_block, X.shape[1]), out=Y)
-        return Y
-
-    # -- plan replay (node-aware lowering, repro.comm) -----------------
-    def _multiply_plan(self, x: np.ndarray, scheme: str) -> np.ndarray:
-        ex, comm = self._exchange, self.comm
-        reqs = ex.post_receives(comm)
-        if scheme == "no_overlap":
-            ex.initial_sends(comm, x)
-            ex.finish(comm, x, reqs, self._halo_buf)
-            y = spmv(self.halo.A_local, x)
-        elif scheme == "naive_overlap":
-            ex.initial_sends(comm, x)
-            y = spmv(self.halo.A_local, x)  # the intended overlap window
-            ex.finish(comm, x, reqs, self._halo_buf)
-        else:  # task_mode: the comm thread packs, relays and completes
-            y = self._run_comm_thread(
-                lambda: (ex.initial_sends(comm, x), ex.finish(comm, x, reqs, self._halo_buf)),
-                lambda: spmv(self.halo.A_local, x),
-            )
-        spmv_add(self.halo.A_remote, self._halo_view(), out=y)
-        return y
-
-    def _multiply_block_plan(
-        self, X: np.ndarray, scheme: str, halo_block: np.ndarray
-    ) -> np.ndarray:
-        ex, comm = self._exchange, self.comm
-        reqs = ex.post_receives(comm)
-        if scheme == "no_overlap":
-            ex.initial_sends(comm, X)
-            ex.finish(comm, X, reqs, halo_block)
-            Y = spmm(self.halo.A_local, X)
-        elif scheme == "naive_overlap":
-            ex.initial_sends(comm, X)
-            Y = spmm(self.halo.A_local, X)  # the intended overlap window
-            ex.finish(comm, X, reqs, halo_block)
-        else:  # task_mode
-            Y = self._run_comm_thread(
-                lambda: (ex.initial_sends(comm, X), ex.finish(comm, X, reqs, halo_block)),
-                lambda: spmm(self.halo.A_local, X),
-            )
-        spmm_add(self.halo.A_remote, self._halo_block_view(halo_block, X.shape[1]), out=Y)
-        return Y
-
-    def _run_comm_thread(self, comm_fn, compute_fn) -> np.ndarray:
-        """Fig. 4c skeleton: *comm_fn* on a dedicated thread, *compute_fn* here."""
-        error: list[BaseException] = []
-
-        def comm_worker() -> None:
-            try:
-                comm_fn()
-            except BaseException as exc:  # noqa: BLE001
-                error.append(exc)
-
-        t = threading.Thread(target=comm_worker, name=f"comm-thread-{self.comm.rank}")
-        t.start()
-        result = compute_fn()
-        t.join()
-        if error:
-            raise RuntimeError(f"communication thread failed: {error[0]!r}") from error[0]
-        return result
-
-    # ------------------------------------------------------------------
-    def _post_receives(self) -> list[tuple[int, object]]:
+    def post_halo_receives(self) -> list[tuple[int, object]]:
+        """Classic lowering of POST_RECVS: one irecv per source rank."""
         return [
             (src, self.comm.irecv(src, _HALO_TAG)) for src, _count in self.halo.recv_from
         ]
 
-    def _fill_send_bufs(self, x: np.ndarray) -> None:
+    def fill_send_buffers(
+        self, x: np.ndarray, send_bufs: dict[int, np.ndarray]
+    ) -> None:
+        """Classic lowering of PACK: gather owned elements per peer."""
         for dst, idx in self.halo.send_indices.items():
-            np.take(x, idx, out=self._send_bufs[dst])
+            np.take(x, idx, axis=0, out=send_bufs[dst])
 
-    def _send_halo(self, x: np.ndarray) -> None:
-        self._fill_send_bufs(x)
-        for dst, buf in self._send_bufs.items():
+    def send_buffers(self, send_bufs: dict[int, np.ndarray]) -> None:
+        """Classic lowering of POST_SENDS: one buffered send per peer."""
+        for dst, buf in send_bufs.items():
             self.comm.Send(buf, dst, _HALO_TAG)
 
-    def _send_halo_block(self, X: np.ndarray, send_blocks: dict[int, np.ndarray]) -> None:
-        for dst, idx in self.halo.send_indices.items():
-            np.take(X, idx, axis=0, out=send_blocks[dst])
-            self.comm.Send(send_blocks[dst], dst, _HALO_TAG)
-
-    def _complete_receives(self, recvs: list[tuple[int, object]]) -> None:
-        for src, req in recvs:
-            data = req.wait()
-            lo, hi = self._halo_offsets[src]
-            if data.shape != (hi - lo,):
-                raise ValueError(
-                    f"halo segment from {src} has shape {data.shape}, expected ({hi - lo},)"
-                )
-            self._halo_buf[lo:hi] = data
-
-    def _complete_block_receives(
-        self, recvs: list[tuple[int, object]], halo_block: np.ndarray
+    def complete_halo_receives(
+        self, recvs: list[tuple[int, object]], halo_out: np.ndarray
     ) -> None:
-        k = halo_block.shape[1]
+        """Classic lowering of WAITALL: land every segment in *halo_out*."""
         for src, req in recvs:
             data = req.wait()
             lo, hi = self._halo_offsets[src]
-            if data.shape != (hi - lo, k):
+            expected = halo_out[lo:hi].shape
+            if data.shape != expected:
                 raise ValueError(
-                    f"halo segment from {src} has shape {data.shape}, "
-                    f"expected ({hi - lo}, {k})"
+                    f"halo segment from {src} has shape {data.shape}, expected {expected}"
                 )
-            halo_block[lo:hi] = data
+            halo_out[lo:hi] = data
 
-    def _halo_view(self) -> np.ndarray:
-        # A_remote was built with ncols = max(1, n_halo)
+    def halo_view(self, halo_out: np.ndarray) -> np.ndarray:
+        """The remote kernel's RHS (A_remote was built with ncols = max(1, n_halo))."""
         if self.halo.n_halo == 0:
-            return np.zeros(1)
-        return self._halo_buf
-
-    def _halo_block_view(self, halo_block: np.ndarray, k: int) -> np.ndarray:
-        if self.halo.n_halo == 0:
-            return np.zeros((1, k))
-        return halo_block
+            return np.zeros(1) if halo_out.ndim == 1 else np.zeros((1, halo_out.shape[1]))
+        return halo_out
 
 
 # ----------------------------------------------------------------------
@@ -391,7 +256,7 @@ def gather_vector(pieces: list[np.ndarray]) -> np.ndarray:
     return np.concatenate(pieces) if pieces else np.zeros(0)
 
 
-def _lower_comm_plan(plan, nranks: int, comm_plan: str, ranks_per_node: int):
+def lower_comm_plan(plan, nranks: int, comm_plan: str, ranks_per_node: int = 1):
     """Resolve the drivers' ``comm_plan``/``ranks_per_node`` arguments.
 
     Returns ``None`` for the classic direct path (no plan object needed)
@@ -438,7 +303,7 @@ def distributed_spmv(
 
     check_in(scheme, SCHEMES, "scheme")
     plan = cached_halo_plan(A, nranks, strategy=strategy, with_matrices=True)
-    cplan = _lower_comm_plan(plan, nranks, comm_plan, ranks_per_node)
+    cplan = lower_comm_plan(plan, nranks, comm_plan, ranks_per_node)
 
     def rank_fn(comm: Comm, halo: RankHalo) -> np.ndarray:
         engine = DistributedSpMVM(comm, halo, comm_plan=cplan)
@@ -478,7 +343,7 @@ def distributed_spmm(
     if X.ndim != 2:
         raise ValueError(f"X must be a 2-D block, got shape {X.shape}")
     plan = cached_halo_plan(A, nranks, strategy=strategy, with_matrices=True)
-    cplan = _lower_comm_plan(plan, nranks, comm_plan, ranks_per_node)
+    cplan = lower_comm_plan(plan, nranks, comm_plan, ranks_per_node)
 
     def rank_fn(comm: Comm, halo: RankHalo) -> np.ndarray:
         engine = DistributedSpMVM(comm, halo, comm_plan=cplan)

@@ -3,6 +3,12 @@
 Aggregates the recorded intervals by label — how often each phase ran,
 how much actor-time it consumed, and which share of the makespan it
 covers — the numbers behind the paper's Fig. 4 narrative, in one table.
+
+The labels are a stable contract: the simulation backend of the sweep
+IR emits exactly ``repro.program.SIM_PHASE_LABELS`` for compute ops
+(plus ``MPI_Waitall`` and the ``:comm`` actor suffix for task mode's
+communication thread), so these tables survived the scheme refactor
+unchanged.
 """
 
 from __future__ import annotations

@@ -1,0 +1,113 @@
+"""The scheme builders: the single source of truth for Fig. 4 semantics.
+
+:func:`build_sweep` emits the one :class:`~repro.program.ir.SweepProgram`
+per scheme that *both* backends execute.  Nothing else in the repository
+is allowed to hard-code the phase ordering of a scheme — a new scheme is
+a new builder here, and immediately runs on mpilite, in the simulator,
+and under the program lint.
+
+* **no_overlap** (Fig. 4a) — gather, exchange, then one full-kernel
+  spMVM::
+
+      POST_RECVS -> PACK -> POST_SENDS -> WAITALL -> FULL_SPMVM
+
+* **naive_overlap** (Fig. 4b) — the local spMVM is *meant* to overlap
+  the nonblocking exchange; whether any bytes move during it is the MPI
+  progress model's decision, not the program's::
+
+      POST_RECVS -> PACK -> POST_SENDS -> LOCAL_SPMVM -> WAITALL
+                 -> REMOTE_SPMVM
+
+* **task_mode** (Fig. 4c) — a dedicated communication thread completes
+  the exchange (holding the MPI progress gate open) while the compute
+  threads run the local spMVM; OpenMP-style barriers publish the packed
+  buffers to the thread and join it before the remote part::
+
+      POST_RECVS -> PACK -> OMP_BARRIER
+                 -> COMM_THREAD(POST_SENDS, WAITALL)
+                 -> LOCAL_SPMVM -> OMP_BARRIER -> REMOTE_SPMVM
+"""
+
+from __future__ import annotations
+
+from repro.program.ir import SweepOp, SweepProgram
+from repro.util import check_in
+
+__all__ = ["PROGRAM_SCHEMES", "build_sweep", "all_sweep_programs"]
+
+#: The Fig. 4 schemes, in paper order.  (Kept equal to
+#: ``repro.core.spmvm.SCHEMES`` / ``repro.core.schemes.SIM_SCHEMES`` by
+#: a package-health test — the builders are the source of truth.)
+PROGRAM_SCHEMES = ("no_overlap", "naive_overlap", "task_mode")
+
+
+def _op(kind: str) -> SweepOp:
+    return SweepOp(kind)
+
+
+def build_sweep(
+    scheme: str,
+    *,
+    block_k: int = 1,
+    comm_plan: str = "classic",
+) -> SweepProgram:
+    """Build the sweep program of one Fig. 4 *scheme*.
+
+    ``block_k`` is the number of right-hand sides per sweep (the op
+    sequence is identical for every k; the simulator prices compute ops
+    with it).  ``comm_plan`` selects the lowering of the communication
+    ops: ``"classic"`` sends one message per peer straight off the halo
+    lists, ``"plan"`` replays a compiled :class:`~repro.comm.plan.CommPlan`
+    (direct or node-aware).
+    """
+    check_in(scheme, PROGRAM_SCHEMES, "scheme")
+    if scheme == "no_overlap":
+        ops = (
+            _op("POST_RECVS"),
+            _op("PACK"),
+            _op("POST_SENDS"),
+            _op("WAITALL"),
+            _op("FULL_SPMVM"),
+        )
+    elif scheme == "naive_overlap":
+        ops = (
+            _op("POST_RECVS"),
+            _op("PACK"),
+            _op("POST_SENDS"),
+            _op("LOCAL_SPMVM"),
+            _op("WAITALL"),
+            _op("REMOTE_SPMVM"),
+        )
+    else:  # task_mode
+        ops = (
+            _op("POST_RECVS"),
+            _op("PACK"),
+            _op("OMP_BARRIER"),
+            SweepOp("COMM_THREAD", body=(_op("POST_SENDS"), _op("WAITALL"))),
+            _op("LOCAL_SPMVM"),
+            _op("OMP_BARRIER"),
+            _op("REMOTE_SPMVM"),
+        )
+    return SweepProgram(
+        scheme=scheme,
+        ops=ops,
+        block_k=block_k,
+        lowering=comm_plan,
+        meta={"builder": "build_sweep"},
+    )
+
+
+def all_sweep_programs(
+    *, block_widths: tuple[int, ...] = (1, 4)
+) -> list[SweepProgram]:
+    """Every builder output: scheme x lowering x block width.
+
+    This is what ``repro check --programs`` lints — the complete set of
+    programs either backend can ever be handed.
+    """
+    return [
+        build_sweep(scheme, block_k=k, comm_plan=lowering)
+        for scheme in PROGRAM_SCHEMES
+        for lowering in ("classic", "plan")
+        for k in block_widths
+    ]

@@ -1,0 +1,216 @@
+"""Real-execution backend: interpreting a sweep program on mpilite data.
+
+:func:`execute_sweep` runs one :class:`~repro.program.ir.SweepProgram`
+on a :class:`~repro.core.spmvm.DistributedSpMVM` engine and returns this
+rank's slice of ``A @ x``.  The engine owns the long-lived state
+(communicator, halo bookkeeping, preallocated buffers, sub-matrices);
+the interpreter owns the phase ordering — which it takes entirely from
+the program, never from the scheme name.
+
+One interpreter covers the whole pre-IR ``_multiply_*`` family:
+
+* spmv and spmm are the ``x.ndim == 1`` / ``x.ndim == 2`` cases of the
+  same op handlers (every buffer fill and kernel call is axis-0 based),
+* the classic and plan exchanges are two lowerings of the communication
+  ops (``PACK`` packs per-peer buffers vs. fusing the packing into the
+  plan's sends; ``WAITALL`` completes per-peer receives vs. running the
+  plan's forward/scatter relays),
+* ``COMM_THREAD`` spawns a real thread executing the body ops — the
+  Fig. 4c code structure — joined at the next ``OMP_BARRIER``.
+
+Numerics are scheme- and lowering-independent by construction: the local
+part is always accumulated before the remote part, row by row, and the
+exchange only copies float64 payloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.program.ir import SweepOp, SweepProgram
+from repro.sparse.spmm import spmm, spmm_add
+from repro.sparse.spmv import spmv, spmv_add
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.spmvm import DistributedSpMVM
+
+__all__ = ["execute_sweep"]
+
+
+class _SweepState:
+    """Per-sweep mutable state shared between main and comm thread."""
+
+    __slots__ = ("x", "halo_out", "send_bufs", "recvs", "reqs", "y", "thread", "error")
+
+    def __init__(self, x: np.ndarray, halo_out: np.ndarray, send_bufs) -> None:
+        self.x = x
+        self.halo_out = halo_out
+        self.send_bufs = send_bufs
+        self.recvs: list | None = None  # classic: [(src, Request)]
+        self.reqs: dict | None = None  # plan: {channel: Request}
+        self.y: np.ndarray | None = None
+        self.thread: threading.Thread | None = None
+        self.error: list[BaseException] = []
+
+
+def execute_sweep(
+    engine: "DistributedSpMVM",
+    program: SweepProgram,
+    x: np.ndarray,
+    *,
+    op_log: list[str] | None = None,
+) -> np.ndarray:
+    """Run *program* once on *engine* with input *x* (1-D or ``(n, k)``).
+
+    ``op_log``, when given, receives the program's signature tokens in
+    issue order (comm-thread bodies at the spawn point) — the hook the
+    golden cross-backend test uses to compare real execution against the
+    simulated one.
+    """
+    if (program.lowering == "plan") != (engine.exchange is not None):
+        have = "a" if engine.exchange is not None else "no"
+        raise ValueError(
+            f"program lowers communication as {program.lowering!r} but the "
+            f"engine has {have} compiled comm plan"
+        )
+    halo_out, send_bufs = engine.sweep_buffers(x)
+    state = _SweepState(x, halo_out, send_bufs)
+    try:
+        _run_ops(engine, program.ops, state, op_log)
+    finally:
+        if state.thread is not None:  # defensive: lint rejects such programs
+            state.thread.join()
+    _raise_comm_error(state)
+    if state.y is None:
+        raise RuntimeError(
+            f"program for scheme {program.scheme!r} finished without computing "
+            f"a result (no LOCAL_SPMVM/FULL_SPMVM op ran)"
+        )
+    return state.y
+
+
+def _run_ops(
+    engine: "DistributedSpMVM",
+    ops: tuple[SweepOp, ...],
+    state: _SweepState,
+    op_log: list[str] | None,
+) -> None:
+    for op in ops:
+        if op.kind == "COMM_THREAD":
+            _spawn_comm_thread(engine, op, state, op_log)
+            continue
+        if op_log is not None:
+            op_log.append(op.kind)
+        _OP_HANDLERS[op.kind](engine, state)
+
+
+def _spawn_comm_thread(
+    engine: "DistributedSpMVM",
+    op: SweepOp,
+    state: _SweepState,
+    op_log: list[str] | None,
+) -> None:
+    if state.thread is not None:
+        raise RuntimeError("COMM_THREAD spawned while another is still open")
+    if op_log is not None:
+        op_log.append("COMM_THREAD{")
+        op_log.extend(inner.kind for inner in op.body)
+        op_log.append("}")
+
+    def worker() -> None:
+        try:
+            for inner in op.body:
+                _OP_HANDLERS[inner.kind](engine, state)
+        except BaseException as exc:  # noqa: BLE001 - re-raised on join
+            state.error.append(exc)
+
+    state.thread = threading.Thread(
+        target=worker, name=f"comm-thread-{engine.comm.rank}"
+    )
+    state.thread.start()
+
+
+def _raise_comm_error(state: _SweepState) -> None:
+    if state.error:
+        raise RuntimeError(
+            f"communication thread failed: {state.error[0]!r}"
+        ) from state.error[0]
+
+
+# ----------------------------------------------------------------------
+# op handlers (classic lowering picks the halo lists, plan lowering the
+# compiled RankExchange — decided once per engine, not per op)
+# ----------------------------------------------------------------------
+def _post_recvs(engine: "DistributedSpMVM", state: _SweepState) -> None:
+    if engine.exchange is not None:
+        state.reqs = engine.exchange.post_receives(engine.comm)
+    else:
+        state.recvs = engine.post_halo_receives()
+
+
+def _pack(engine: "DistributedSpMVM", state: _SweepState) -> None:
+    if engine.exchange is not None:
+        return  # plan lowering packs inside the sends (repro.comm.exec)
+    engine.fill_send_buffers(state.x, state.send_bufs)
+
+
+def _post_sends(engine: "DistributedSpMVM", state: _SweepState) -> None:
+    if engine.exchange is not None:
+        engine.exchange.initial_sends(engine.comm, state.x)
+    else:
+        engine.send_buffers(state.send_bufs)
+
+
+def _waitall(engine: "DistributedSpMVM", state: _SweepState) -> None:
+    if engine.exchange is not None:
+        engine.exchange.finish(engine.comm, state.x, state.reqs, state.halo_out)
+    else:
+        engine.complete_halo_receives(state.recvs, state.halo_out)
+
+
+def _local_spmvm(engine: "DistributedSpMVM", state: _SweepState) -> None:
+    A = engine.halo.A_local
+    state.y = spmm(A, state.x) if state.x.ndim == 2 else spmv(A, state.x)
+
+
+def _remote_spmvm(engine: "DistributedSpMVM", state: _SweepState) -> None:
+    A = engine.halo.A_remote
+    halo = engine.halo_view(state.halo_out)
+    if state.x.ndim == 2:
+        spmm_add(A, halo, out=state.y)
+    else:
+        spmv_add(A, halo, out=state.y)
+
+
+def _full_spmvm(engine: "DistributedSpMVM", state: _SweepState) -> None:
+    # the unsplit Fig. 4a kernel, lowered to local-then-remote over the
+    # split-stored matrices — the same arithmetic order as the split
+    # schemes, which is what makes all schemes bit-identical
+    _local_spmvm(engine, state)
+    _remote_spmvm(engine, state)
+
+
+def _omp_barrier(engine: "DistributedSpMVM", state: _SweepState) -> None:
+    # single main thread + optional comm thread: the barrier's only real
+    # effect is joining an open COMM_THREAD region (Fig. 4c's second
+    # barrier); with no thread open it is the compute threads' rendezvous,
+    # a no-op for one compute thread
+    if state.thread is not None:
+        state.thread.join()
+        state.thread = None
+        _raise_comm_error(state)
+
+
+_OP_HANDLERS = {
+    "POST_RECVS": _post_recvs,
+    "PACK": _pack,
+    "POST_SENDS": _post_sends,
+    "WAITALL": _waitall,
+    "LOCAL_SPMVM": _local_spmvm,
+    "REMOTE_SPMVM": _remote_spmvm,
+    "FULL_SPMVM": _full_spmvm,
+    "OMP_BARRIER": _omp_barrier,
+}

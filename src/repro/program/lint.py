@@ -1,0 +1,172 @@
+"""Program-level lint: proving a sweep program safe before any backend runs it.
+
+:func:`lint_sweep_program` checks the structural invariants both
+interpreters rely on and reports violations as ``program-lint``
+:class:`~repro.check.findings.Finding` records.  Because every scheme
+dispatches through :mod:`repro.program`, the correctness layer verifies
+the IR once — instead of chasing three hand-rolled implementations of
+the same phase ordering.
+
+Invariants
+----------
+* **vocabulary** — every op kind is known; ``COMM_THREAD`` bodies hold
+  MPI ops only (a communication thread executes library calls, never
+  compute);
+* **request lifecycle** — receives are posted exactly once and before
+  the sends, sends exactly once, and one ``WAITALL`` completes every
+  posted request (no leaked requests by construction);
+* **buffer publication** — ``PACK`` precedes ``POST_SENDS``; when the
+  sends run on the communication thread, an ``OMP_BARRIER`` separates
+  the pack from the spawn (the compute threads must publish the buffers
+  before the thread may touch them);
+* **comm-thread region balance** — at most one region, spawned after
+  the receives are posted, containing the ``WAITALL``, and joined by a
+  later ``OMP_BARRIER`` before any op that consumes the halo;
+* **data readiness** — ``REMOTE_SPMVM``/``FULL_SPMVM`` run only after
+  the exchange completed (a finished ``WAITALL`` on the main path, or
+  the joining barrier of the comm-thread region); the kernel writes the
+  result exactly once (one ``FULL_SPMVM`` or one ``LOCAL_SPMVM`` +
+  ``REMOTE_SPMVM`` pair, local first).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.program.ir import COMM_OPS, SweepProgram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.check.findings import Finding
+
+__all__ = ["lint_sweep_program", "lint_sweep_programs"]
+
+
+def lint_sweep_program(program: SweepProgram) -> "list[Finding]":
+    """Lint *program*; returns all findings (empty = provably well-formed)."""
+    from repro.check.findings import Finding
+
+    findings: list[Finding] = []
+    where = f"{program.scheme} [{program.lowering}, k={program.block_k}]"
+
+    def add(message: str, **details: object) -> None:
+        findings.append(Finding(
+            kind="program-lint",
+            message=f"{where}: {message}",
+            details={"scheme": program.scheme, "lowering": program.lowering,
+                     **details},
+        ))
+
+    # linearised views: (kind, in_comm_thread) in issue order, and the
+    # index of each main-path op
+    flat = list(program.walk())
+    main = [op.kind for op, inside in flat if not inside]
+
+    def count(kind: str) -> int:
+        return sum(1 for op, _inside in flat if op.kind == kind)
+
+    def main_index(kind: str) -> int | None:
+        return main.index(kind) if kind in main else None
+
+    # -- comm-thread body vocabulary ----------------------------------
+    for op, _ in flat:
+        if op.kind == "COMM_THREAD":
+            for inner in op.body:
+                if inner.kind not in COMM_OPS:
+                    add(f"comm thread executes {inner.kind}; a communication "
+                        f"thread may only run MPI ops {COMM_OPS}")
+
+    # -- request lifecycle --------------------------------------------
+    for kind in ("POST_RECVS", "POST_SENDS", "WAITALL"):
+        n = count(kind)
+        if n != 1:
+            add(f"{kind} appears {n}x (must be exactly once: every posted "
+                f"request is completed by the one WAITALL)")
+    order = [op.kind for op, _inside in flat]
+    if order.count("POST_RECVS") == 1 and order.count("POST_SENDS") == 1:
+        if order.index("POST_RECVS") > order.index("POST_SENDS"):
+            add("POST_SENDS issued before POST_RECVS: a sweep must prepost "
+                "its receives so no send can block on an unposted peer")
+    if order.count("POST_SENDS") == 1 and order.count("WAITALL") == 1:
+        if order.index("WAITALL") < order.index("POST_SENDS"):
+            add("WAITALL precedes POST_SENDS: the send requests it must "
+                "complete do not exist yet")
+
+    # -- buffer publication -------------------------------------------
+    pack_i = main_index("PACK")
+    if pack_i is None:
+        add("no PACK op: send buffers are never filled")
+    regions = [(i, op) for i, op in enumerate(program.ops) if op.kind == "COMM_THREAD"]
+    if len(regions) > 1:
+        add(f"{len(regions)} COMM_THREAD regions (at most one per sweep)")
+    for i, region in regions:
+        body_kinds = [inner.kind for inner in region.body]
+        before = [op.kind for op in program.ops[:i]]
+        if "WAITALL" in body_kinds and "POST_RECVS" not in before:
+            add("comm thread waits on receives that are not posted before "
+                "the region spawns")
+        if "POST_SENDS" in body_kinds:
+            if "PACK" in before and "OMP_BARRIER" not in before[before.index("PACK"):]:
+                add("comm thread sends buffers without an OMP_BARRIER after "
+                    "PACK: the compute threads never published them")
+        after = [op.kind for op in program.ops[i + 1:]]
+        if "OMP_BARRIER" not in after:
+            add("COMM_THREAD region is never joined: no OMP_BARRIER follows "
+                "it, so the sweep can finish with the exchange in flight")
+
+    # -- data readiness and result shape ------------------------------
+    exchange_done = _exchange_completion_index(program)
+    for i, op in enumerate(program.ops):
+        if op.kind in ("REMOTE_SPMVM", "FULL_SPMVM"):
+            if exchange_done is None or i < exchange_done:
+                add(f"{op.kind} consumes the halo before the exchange "
+                    f"completed (needs a finished WAITALL or the joining "
+                    f"barrier first)")
+    n_full, n_local, n_remote = count("FULL_SPMVM"), count("LOCAL_SPMVM"), count("REMOTE_SPMVM")
+    if n_full:
+        if n_full > 1 or n_local or n_remote:
+            add("FULL_SPMVM must be the only kernel op (it already writes "
+                "the whole result)")
+    elif (n_local, n_remote) != (1, 1):
+        add(f"split kernel needs exactly one LOCAL_SPMVM and one "
+            f"REMOTE_SPMVM (got {n_local} and {n_remote})")
+    elif main_index("LOCAL_SPMVM") is not None and main_index("REMOTE_SPMVM") is not None \
+            and main_index("LOCAL_SPMVM") > main_index("REMOTE_SPMVM"):
+        add("REMOTE_SPMVM before LOCAL_SPMVM: the remote phase accumulates "
+            "into the local phase's result")
+    return findings
+
+
+def _exchange_completion_index(program: SweepProgram) -> int | None:
+    """Main-path index after which the halo data is guaranteed landed.
+
+    That is the index just past a main-path ``WAITALL``, or past the
+    ``OMP_BARRIER`` that joins the comm-thread region carrying the
+    ``WAITALL``.  ``None`` when the exchange never provably completes.
+    """
+    for i, op in enumerate(program.ops):
+        if op.kind == "WAITALL":
+            return i + 1
+        if op.kind == "COMM_THREAD" and any(
+            inner.kind == "WAITALL" for inner in op.body
+        ):
+            for j in range(i + 1, len(program.ops)):
+                if program.ops[j].kind == "OMP_BARRIER":
+                    return j + 1
+            return None
+    return None
+
+
+def lint_sweep_programs(
+    programs: Iterable[SweepProgram] | None = None,
+) -> "list[Finding]":
+    """Lint a collection of programs (default: every builder output).
+
+    This is the ``repro check --programs`` sweep: all Fig. 4 builders,
+    both lowerings, scalar and batched widths.
+    """
+    from repro.program.build import all_sweep_programs
+
+    findings: list[Finding] = []
+    for program in programs if programs is not None else all_sweep_programs():
+        findings.extend(lint_sweep_program(program))
+    return findings

@@ -1,0 +1,161 @@
+"""Simulation backend: interpreting a sweep program as a simulator process.
+
+:func:`sweep_process` runs one :class:`~repro.program.ir.SweepProgram`
+inside the discrete-event simulator: compute ops become memory-bus flows
+priced by the rank's :class:`~repro.core.costs.PhaseCosts` (emitting the
+phase labels of :data:`~repro.program.ir.SIM_PHASE_LABELS`, so every
+:mod:`repro.obs` analysis keeps working unchanged), communication ops go
+through the simulated MPI with its progress semantics, and a
+``COMM_THREAD`` region becomes a spawned subprocess holding the MPI
+progress gate open inside ``Waitall`` — joined, as on the real machine,
+at the next ``OMP_BARRIER``.
+
+The lowering of the communication ops mirrors the real backend: with a
+:class:`~repro.comm.sim.SimExchange` attached to the rank context the
+plan's per-channel messages (and relay duties) are replayed; without one
+the classic one-message-per-peer exchange is posted straight off the
+halo lists.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.frame.events import SimEvent
+from repro.program.ir import SIM_PHASE_LABELS, SweepOp, SweepProgram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.schemes import RankContext
+
+__all__ = ["sweep_process"]
+
+
+class _SimSweep:
+    """Per-sweep interpreter state (requests and the open comm thread)."""
+
+    __slots__ = ("recvs", "sends", "comm_finished")
+
+    def __init__(self) -> None:
+        self.recvs: list = []
+        self.sends: list = []
+        self.comm_finished: SimEvent | None = None
+
+
+def sweep_process(
+    ctx: "RankContext",
+    program: SweepProgram,
+    sweep: int,
+    *,
+    op_log: list[str] | None = None,
+) -> Generator:
+    """Sub-generator: one sweep of *program* on simulated rank *ctx*.
+
+    *sweep* tags the sweep's messages so drifting ranks cannot mismatch
+    successive iterations.  ``op_log`` receives the program's signature
+    tokens in issue order — the simulated half of the golden
+    cross-backend comparison.
+    """
+    state = _SimSweep()
+    yield from _run_ops(ctx, program.ops, state, sweep, op_log, in_comm_thread=False)
+    if state.comm_finished is not None:  # defensive: lint rejects such programs
+        yield state.comm_finished
+
+
+def _run_ops(
+    ctx: "RankContext",
+    ops: tuple[SweepOp, ...],
+    state: _SimSweep,
+    sweep: int,
+    op_log: list[str] | None,
+    *,
+    in_comm_thread: bool,
+) -> Generator:
+    for op in ops:
+        if op.kind == "COMM_THREAD":
+            if op_log is not None:
+                op_log.append("COMM_THREAD{")
+                op_log.extend(inner.kind for inner in op.body)
+                op_log.append("}")
+            _spawn_comm_thread(ctx, op, state, sweep)
+            continue
+        if op_log is not None:
+            op_log.append(op.kind)
+        yield from _run_op(ctx, op, state, sweep, in_comm_thread=in_comm_thread)
+
+
+def _run_op(
+    ctx: "RankContext",
+    op: SweepOp,
+    state: _SimSweep,
+    sweep: int,
+    *,
+    in_comm_thread: bool,
+) -> Generator:
+    kind = op.kind
+    if kind in SIM_PHASE_LABELS:
+        yield from ctx.compute(SIM_PHASE_LABELS[kind], _compute_cost(ctx, kind))
+    elif kind == "POST_RECVS":
+        state.recvs = _post_receives(ctx, sweep)
+    elif kind == "POST_SENDS":
+        state.sends = _post_sends(ctx, sweep)
+    elif kind == "WAITALL":
+        t0 = ctx.sim.now
+        yield from ctx.mpi.waitall(ctx.rank, state.recvs + state.sends)
+        ctx.record(":comm" if in_comm_thread else "", "MPI_Waitall", t0)
+    elif kind == "OMP_BARRIER":
+        if state.comm_finished is not None:
+            # the barrier joins the open comm-thread region: compute
+            # threads wait until the exchange is complete (Fig. 4c)
+            yield state.comm_finished
+            state.comm_finished = None
+        yield from ctx.omp_barrier()
+    else:  # pragma: no cover - ir.py validates kinds
+        raise ValueError(f"simulation backend cannot execute op {kind!r}")
+
+
+def _compute_cost(ctx: "RankContext", kind: str) -> float:
+    costs = ctx.costs
+    return {
+        "PACK": costs.gather,
+        "LOCAL_SPMVM": costs.local_spmv,
+        "REMOTE_SPMVM": costs.remote_spmv,
+        "FULL_SPMVM": costs.full_spmv,
+    }[kind]
+
+
+def _spawn_comm_thread(
+    ctx: "RankContext", op: SweepOp, state: _SimSweep, sweep: int
+) -> None:
+    if state.comm_finished is not None:
+        raise RuntimeError("COMM_THREAD spawned while another is still open")
+    finished: SimEvent = ctx.sim.event()
+
+    def comm_thread() -> Generator:
+        # Fig. 4c: the dedicated thread executes MPI calls only, sitting
+        # in Waitall with the progress gate held open while the compute
+        # threads run the local spMVM
+        yield from _run_ops(ctx, op.body, state, sweep, None, in_comm_thread=True)
+        finished.succeed()
+
+    ctx.sim.spawn(comm_thread(), name=f"rank{ctx.rank}-comm")
+    state.comm_finished = finished
+
+
+def _post_receives(ctx: "RankContext", sweep: int) -> list:
+    if ctx.comm is not None:
+        return ctx.comm.post_receives(ctx, sweep)
+    # classic lowering: one message per peer per sweep; a batched sweep
+    # carries all block_k columns of the segment in that single message
+    return [
+        ctx.mpi.irecv(ctx.rank, src, 8 * ctx.block_k * count, sweep)
+        for src, count in ctx.halo.recv_from
+    ]
+
+
+def _post_sends(ctx: "RankContext", sweep: int) -> list:
+    if ctx.comm is not None:
+        return ctx.comm.post_sends(ctx, sweep)
+    return [
+        ctx.mpi.isend(ctx.rank, dst, 8 * ctx.block_k * count, sweep)
+        for dst, count in ctx.halo.send_to
+    ]

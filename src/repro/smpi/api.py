@@ -261,6 +261,12 @@ class SimMPI:
         Usage inside a simulation process::
 
             yield from mpi.waitall(rank, reqs)
+
+        This is where the progress gate is held open: the sweep IR's
+        ``WAITALL`` op lowers to this call, and Fig. 4c's dedicated
+        communication thread (a ``COMM_THREAD`` region in
+        :mod:`repro.program`) spends its life inside it so transfers
+        progress while the compute threads run the local spMVM.
         """
         self.enter_mpi(rank)
         try:

@@ -17,6 +17,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.comm.plan import CommPlan
 from repro.core.halo import RankHalo
 from repro.core.spmvm import DistributedSpMVM
 from repro.mpilite.comm import Comm
@@ -84,11 +85,25 @@ class DistributedOperator:
         This rank's halo plan (with sub-matrices).
     scheme:
         Which Fig. 4 execution scheme the matvec uses.
+    comm_plan:
+        Optional halo-exchange lowering (see
+        :class:`~repro.core.spmvm.DistributedSpMVM`): ``None``/direct
+        uses the classic per-peer exchange, a node-aware
+        :class:`~repro.comm.plan.CommPlan` routes inter-node traffic
+        through per-node leaders.  Solver iterates are bit-identical
+        either way.
     """
 
-    def __init__(self, comm: Comm, halo: RankHalo, scheme: str = "task_mode") -> None:
+    def __init__(
+        self,
+        comm: Comm,
+        halo: RankHalo,
+        scheme: str = "task_mode",
+        *,
+        comm_plan: CommPlan | None = None,
+    ) -> None:
         self.comm = comm
-        self.engine = DistributedSpMVM(comm, halo)
+        self.engine = DistributedSpMVM(comm, halo, comm_plan=comm_plan)
         self.scheme = scheme
 
     @property

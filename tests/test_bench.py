@@ -18,6 +18,7 @@ EXPECTED_NAMES = {
     "spmv", "spmv-out", "spmm-k1", "spmm-k4", "spmm-k16",
     "distributed-spmv", "distributed-spmv-nodeaware",
     "distributed-spmm-k1", "distributed-spmm-k4", "distributed-spmm-k16",
+    "program-overhead",
 }
 
 
@@ -73,7 +74,7 @@ def tiny_suite():
 
 def test_suite_covers_all_paths(tiny_suite):
     assert {r.name for r in tiny_suite} == EXPECTED_NAMES
-    assert {r.group for r in tiny_suite} == {"kernel", "distributed"}
+    assert {r.group for r in tiny_suite} == {"kernel", "distributed", "program"}
     for r in tiny_suite:
         assert r.seconds.min > 0
         assert r.derived["gflops"] > 0
@@ -82,6 +83,16 @@ def test_suite_covers_all_paths(tiny_suite):
             assert r.derived["seconds_per_column"] == pytest.approx(
                 r.seconds.min / r.params["k"]
             )
+
+
+def test_program_overhead_guard(tiny_suite):
+    # the sweep-IR tentpole's perf contract: interpreter indirection must
+    # stay well under 5% of the single-rank spmv hot path (the suite
+    # itself raises past the guard; here we check the reported figures)
+    (r,) = [r for r in tiny_suite if r.name == "program-overhead"]
+    assert r.derived["guard_max"] == 0.05
+    assert 0.0 <= r.derived["overhead_vs_hot_path"] < r.derived["guard_max"]
+    assert r.derived["indirection_seconds"] < r.derived["hot_path_seconds"]
 
 
 def test_write_results_schema(tiny_suite, tmp_path):

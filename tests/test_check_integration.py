@@ -30,6 +30,13 @@ def test_cli_check_lint_only(capsys):
     assert "clean (both lowerings)" in capsys.readouterr().out
 
 
+def test_cli_check_programs(capsys):
+    assert main(["check", "--programs"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep-program lint (12 programs): clean" in out
+    assert "COMM_THREAD(POST_SENDS, WAITALL)" in out
+
+
 @pytest.mark.parametrize("name", sorted(SEED_BUGS))
 def test_cli_seed_bugs_fire(name, capsys):
     assert main(["check", "--seed-bug", name]) == 0

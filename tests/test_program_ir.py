@@ -1,0 +1,170 @@
+"""Sweep IR: op/program validation, builders, and the program lint."""
+
+import pytest
+
+from repro.core.schemes import SIM_SCHEMES
+from repro.core.spmvm import SCHEMES
+from repro.program import (
+    PROGRAM_SCHEMES,
+    SweepOp,
+    SweepProgram,
+    all_sweep_programs,
+    build_sweep,
+    lint_sweep_program,
+    lint_sweep_programs,
+)
+
+
+def _prog(ops, scheme="naive_overlap", **kw):
+    return SweepProgram(scheme=scheme, ops=tuple(ops), **kw)
+
+
+# ----------------------------------------------------------------------
+# IR validation
+# ----------------------------------------------------------------------
+def test_unknown_op_kind_rejected():
+    with pytest.raises(ValueError, match="op kind"):
+        SweepOp("FACTORIZE")
+
+
+def test_comm_thread_needs_body():
+    with pytest.raises(ValueError, match="non-empty body"):
+        SweepOp("COMM_THREAD")
+
+
+def test_comm_thread_cannot_nest():
+    inner = SweepOp("COMM_THREAD", body=(SweepOp("WAITALL"),))
+    with pytest.raises(ValueError, match="nest"):
+        SweepOp("COMM_THREAD", body=(inner,))
+
+
+def test_plain_op_cannot_carry_body():
+    with pytest.raises(ValueError, match="cannot carry a body"):
+        SweepOp("PACK", body=(SweepOp("WAITALL"),))
+
+
+def test_program_validates_lowering_and_width():
+    with pytest.raises(ValueError, match="lowering"):
+        _prog([SweepOp("PACK")], lowering="magic")
+    with pytest.raises(ValueError, match="block_k"):
+        _prog([SweepOp("PACK")], block_k=0)
+    with pytest.raises(ValueError, match="at least one op"):
+        _prog([])
+
+
+def test_walk_and_signature_delimit_comm_thread():
+    prog = build_sweep("task_mode")
+    kinds = [(op.kind, inside) for op, inside in prog.walk()]
+    assert ("POST_SENDS", True) in kinds and ("WAITALL", True) in kinds
+    assert kinds[0] == ("POST_RECVS", False)
+    sig = prog.signature()
+    assert sig.index("COMM_THREAD{") < sig.index("POST_SENDS") < sig.index("}")
+    assert "task_mode" in prog.describe()
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+def test_scheme_tuples_agree_with_builders():
+    # the builders are the source of truth; the backend-facing tuples
+    # must stay in lockstep with them
+    assert PROGRAM_SCHEMES == SCHEMES == SIM_SCHEMES
+
+
+def test_all_builder_outputs_lint_clean():
+    programs = all_sweep_programs()
+    # schemes x lowerings x widths
+    assert len(programs) == len(PROGRAM_SCHEMES) * 2 * 2
+    assert lint_sweep_programs(programs) == []
+    assert lint_sweep_programs() == []
+
+
+def test_builder_rejects_unknown_scheme():
+    with pytest.raises(ValueError, match="scheme"):
+        build_sweep("eager_overlap")
+
+
+# ----------------------------------------------------------------------
+# lint: each invariant violation is caught
+# ----------------------------------------------------------------------
+def _messages(program):
+    findings = lint_sweep_program(program)
+    assert all(f.kind == "program-lint" for f in findings)
+    return " | ".join(f.message for f in findings)
+
+
+def test_lint_catches_compute_in_comm_thread():
+    prog = _prog([
+        SweepOp("POST_RECVS"), SweepOp("PACK"), SweepOp("OMP_BARRIER"),
+        SweepOp("COMM_THREAD", body=(
+            SweepOp("POST_SENDS"), SweepOp("LOCAL_SPMVM"), SweepOp("WAITALL"))),
+        SweepOp("FULL_SPMVM"), SweepOp("OMP_BARRIER"),
+    ])
+    assert "may only run MPI ops" in _messages(prog)
+
+
+def test_lint_catches_request_lifecycle_violations():
+    # sends before receives
+    assert "before POST_RECVS" in _messages(_prog([
+        SweepOp("POST_SENDS"), SweepOp("POST_RECVS"), SweepOp("PACK"),
+        SweepOp("WAITALL"), SweepOp("FULL_SPMVM"),
+    ]))
+    # waitall before the sends exist
+    assert "WAITALL precedes POST_SENDS" in _messages(_prog([
+        SweepOp("POST_RECVS"), SweepOp("PACK"), SweepOp("WAITALL"),
+        SweepOp("POST_SENDS"), SweepOp("FULL_SPMVM"),
+    ]))
+    # leaked requests: no waitall at all
+    assert "WAITALL appears 0x" in _messages(_prog([
+        SweepOp("POST_RECVS"), SweepOp("PACK"), SweepOp("POST_SENDS"),
+        SweepOp("FULL_SPMVM"),
+    ]))
+
+
+def test_lint_catches_missing_pack():
+    assert "never filled" in _messages(_prog([
+        SweepOp("POST_RECVS"), SweepOp("POST_SENDS"), SweepOp("WAITALL"),
+        SweepOp("FULL_SPMVM"),
+    ]))
+
+
+def test_lint_catches_unpublished_buffers():
+    # comm thread sends buffers but no barrier after PACK published them
+    prog = _prog([
+        SweepOp("POST_RECVS"), SweepOp("PACK"),
+        SweepOp("COMM_THREAD", body=(SweepOp("POST_SENDS"), SweepOp("WAITALL"))),
+        SweepOp("LOCAL_SPMVM"), SweepOp("OMP_BARRIER"), SweepOp("REMOTE_SPMVM"),
+    ])
+    assert "never published" in _messages(prog)
+
+
+def test_lint_catches_unjoined_comm_thread():
+    prog = _prog([
+        SweepOp("POST_RECVS"), SweepOp("PACK"), SweepOp("OMP_BARRIER"),
+        SweepOp("COMM_THREAD", body=(SweepOp("POST_SENDS"), SweepOp("WAITALL"))),
+        SweepOp("LOCAL_SPMVM"),
+    ])
+    msgs = _messages(prog)
+    assert "never joined" in msgs
+
+
+def test_lint_catches_premature_halo_consumption():
+    # remote part before the exchange completed
+    assert "before the exchange" in _messages(_prog([
+        SweepOp("POST_RECVS"), SweepOp("PACK"), SweepOp("POST_SENDS"),
+        SweepOp("LOCAL_SPMVM"), SweepOp("REMOTE_SPMVM"), SweepOp("WAITALL"),
+    ]))
+
+
+def test_lint_catches_kernel_shape_violations():
+    # both full and split kernels write the result
+    assert "only kernel op" in _messages(_prog([
+        SweepOp("POST_RECVS"), SweepOp("PACK"), SweepOp("POST_SENDS"),
+        SweepOp("WAITALL"), SweepOp("FULL_SPMVM"), SweepOp("LOCAL_SPMVM"),
+        SweepOp("REMOTE_SPMVM"),
+    ]))
+    # remote accumulates into a result that does not exist yet
+    assert "REMOTE_SPMVM before LOCAL_SPMVM" in _messages(_prog([
+        SweepOp("POST_RECVS"), SweepOp("PACK"), SweepOp("POST_SENDS"),
+        SweepOp("WAITALL"), SweepOp("REMOTE_SPMVM"), SweepOp("LOCAL_SPMVM"),
+    ]))

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import build_halo_plan, scatter_vector
+from repro.core.spmvm import lower_comm_plan
 from repro.matrices import poisson_2d, random_sparse
 from repro.mpilite import PerRank, run_spmd
 from repro.solvers import (
@@ -163,3 +164,25 @@ def test_distributed_cg_equals_serial(samg_tiny, rng):
     # may differ by a round-off-induced step or two
     assert abs(out[0][1] - serial.iterations) <= 2
     assert np.allclose(x_dist, serial.x, atol=1e-7)
+
+
+def test_distributed_cg_node_aware_bit_identical(samg_tiny, rng):
+    # the node-aware exchange only re-routes copies, so every CG iterate
+    # — and hence the solution — is bit-identical to the classic path
+    b = samg_tiny @ rng.standard_normal(samg_tiny.nrows)
+    partition = partition_matrix(samg_tiny, 4)
+    plan = build_halo_plan(samg_tiny, partition, with_matrices=True)
+    cplan = lower_comm_plan(plan, 4, "node-aware", ranks_per_node=2)
+
+    def fn(comm, halo, use_plan):
+        op = DistributedOperator(comm, halo, scheme="task_mode",
+                                 comm_plan=cplan if use_plan else None)
+        res = conjugate_gradient(op, scatter_vector(b, partition, comm.rank),
+                                 tol=1e-9, max_iter=3000)
+        return res.x, res.iterations
+
+    classic = run_spmd(4, lambda c, h: fn(c, h, False), PerRank(plan.ranks))
+    node_aware = run_spmd(4, lambda c, h: fn(c, h, True), PerRank(plan.ranks))
+    for (xc, itc), (xn, itn) in zip(classic, node_aware):
+        assert itc == itn
+        assert np.array_equal(xc, xn)
