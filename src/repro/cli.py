@@ -52,6 +52,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         ("check", "communication correctness analyzer (repro.check)"),
         ("probe", "Sect. 3 asynchronous-progress probe"),
         ("bench", "timed spMVM micro-benchmarks → BENCH_spmvm.json"),
+        ("kernels", "list the registered spMVM kernels (repro.sparse.registry)"),
         ("matrix", "build and describe one registry matrix"),
         ("all", "run every experiment in sequence"),
     ):
@@ -340,6 +341,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_kernels(_args: argparse.Namespace) -> int:
+    """List every registered sparse kernel (format/variant, equivalence)."""
+    from repro.sparse import DEFAULT_KERNEL, available_kernels, get_kernel
+
+    default_key = get_kernel(DEFAULT_KERNEL).key
+    print("registered spMVM kernels:")
+    for key in available_kernels():
+        spec = get_kernel(key)
+        tags = ["bit-exact" if spec.exact else "tolerance"]
+        if key == default_key:
+            tags.append("default")
+        print(f"  {key:<16} [{', '.join(tags)}] {spec.description}")
+    return 0
+
+
 def _cmd_probe(_args: argparse.Namespace) -> int:
     from repro.experiments import run_progress_probe
 
@@ -457,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--seed", type=int, default=7)
     pb.add_argument("--output", metavar="PATH", default="BENCH_spmvm.json",
                     help="where to write the repro-bench/1 JSON (default: %(default)s)")
+    add("kernels", _cmd_kernels)
     pm = add("matrix", _cmd_matrix)
     pm.add_argument("name", choices=("HMeP", "HMEp", "sAMG"))
     pm.add_argument("--scale", default="tiny")

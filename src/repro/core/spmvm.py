@@ -49,6 +49,7 @@ from repro.program.exec import execute_sweep
 from repro.program.ir import SweepProgram
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.partition import RowPartition
+from repro.sparse.registry import DEFAULT_KERNEL, KernelSpec, build_operator, get_kernel
 from repro.util import check_in
 
 __all__ = [
@@ -84,10 +85,22 @@ class DistributedSpMVM:
         forward → scatter, :mod:`repro.comm`).  Results are
         bit-identical either way — the exchange only copies float64
         payloads, never reorders arithmetic.
+    kernel:
+        Registered kernel name (``"csr"``, ``"sell/matmul"``, ...) or a
+        :class:`~repro.sparse.registry.KernelSpec`.  The local and
+        remote sub-matrices are converted to the kernel's format once at
+        construction (memoised per matrix); every sweep's compute ops
+        then dispatch through the spec.  The default CSR reference keeps
+        results bit-identical across schemes and lowerings; non-exact
+        kernels (``exact=False``) are tolerance-equivalent.
     """
 
     def __init__(
-        self, comm: Comm, halo: RankHalo, comm_plan: CommPlan | None = None
+        self,
+        comm: Comm,
+        halo: RankHalo,
+        comm_plan: CommPlan | None = None,
+        kernel: str | KernelSpec = DEFAULT_KERNEL,
     ) -> None:
         if halo.A_local is None or halo.A_remote is None:
             raise ValueError("RankHalo lacks sub-matrices; build plan with_matrices=True")
@@ -95,6 +108,10 @@ class DistributedSpMVM:
             raise ValueError(f"halo is for rank {halo.rank}, communicator is rank {comm.rank}")
         self.comm = comm
         self.halo = halo
+        #: resolved kernel spec plus the sub-matrices in its format
+        self.kernel = get_kernel(kernel)
+        self.A_local_op = build_operator(self.kernel, halo.A_local)
+        self.A_remote_op = build_operator(self.kernel, halo.A_remote)
         #: compiled node-aware exchange, or None for the classic lowering
         self.exchange = (
             RankExchange(comm_plan, halo)
@@ -282,6 +299,7 @@ def distributed_spmv(
     iterations: int = 1,
     comm_plan: str = "direct",
     ranks_per_node: int = 1,
+    kernel: str | KernelSpec = DEFAULT_KERNEL,
     recorder: Any = None,
 ) -> np.ndarray:
     """Compute ``A @ x`` on *nranks* mpilite ranks (the integration driver).
@@ -296,17 +314,20 @@ def distributed_spmv(
     ``comm_plan`` selects the halo-exchange lowering (:mod:`repro.comm`);
     ``"node-aware"`` aggregates inter-node messages through per-node
     leaders, with nodes assigned rank-major from *ranks_per_node*.
-    Results are bit-identical across lowerings.  ``recorder`` attaches a
-    :class:`repro.check.CommRecorder` to the world (dynamic analysis).
+    Results are bit-identical across lowerings.  ``kernel`` selects the
+    registered compute kernel per rank (see :class:`DistributedSpMVM`).
+    ``recorder`` attaches a :class:`repro.check.CommRecorder` to the
+    world (dynamic analysis).
     """
     from repro.mpilite.world import PerRank, run_spmd
 
     check_in(scheme, SCHEMES, "scheme")
+    kspec = get_kernel(kernel)
     plan = cached_halo_plan(A, nranks, strategy=strategy, with_matrices=True)
     cplan = lower_comm_plan(plan, nranks, comm_plan, ranks_per_node)
 
     def rank_fn(comm: Comm, halo: RankHalo) -> np.ndarray:
-        engine = DistributedSpMVM(comm, halo, comm_plan=cplan)
+        engine = DistributedSpMVM(comm, halo, comm_plan=cplan, kernel=kspec)
         x_local = scatter_vector(x, plan.partition, comm.rank)
         y_local = engine.multiply(x_local, scheme)
         for _ in range(iterations - 1):
@@ -328,17 +349,20 @@ def distributed_spmm(
     iterations: int = 1,
     comm_plan: str = "direct",
     ranks_per_node: int = 1,
+    kernel: str | KernelSpec = DEFAULT_KERNEL,
     recorder: Any = None,
 ) -> np.ndarray:
     """Compute the block product ``A @ X`` on *nranks* mpilite ranks.
 
     The batched twin of :func:`distributed_spmv`: one halo exchange (one
     message per peer) serves all ``X.shape[1]`` right-hand sides.  See
-    :func:`distributed_spmv` for ``comm_plan``/``ranks_per_node``.
+    :func:`distributed_spmv` for ``comm_plan``/``ranks_per_node``/
+    ``kernel``.
     """
     from repro.mpilite.world import PerRank, run_spmd
 
     check_in(scheme, SCHEMES, "scheme")
+    kspec = get_kernel(kernel)
     X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2:
         raise ValueError(f"X must be a 2-D block, got shape {X.shape}")
@@ -346,7 +370,7 @@ def distributed_spmm(
     cplan = lower_comm_plan(plan, nranks, comm_plan, ranks_per_node)
 
     def rank_fn(comm: Comm, halo: RankHalo) -> np.ndarray:
-        engine = DistributedSpMVM(comm, halo, comm_plan=cplan)
+        engine = DistributedSpMVM(comm, halo, comm_plan=cplan, kernel=kspec)
         X_local = scatter_vector(X, plan.partition, comm.rank)
         Y_local = engine.multiply_block(X_local, scheme)
         for _ in range(iterations - 1):

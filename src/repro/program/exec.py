@@ -31,8 +31,6 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.program.ir import SweepOp, SweepProgram
-from repro.sparse.spmm import spmm, spmm_add
-from repro.sparse.spmv import spmv, spmv_add
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.spmvm import DistributedSpMVM
@@ -172,17 +170,23 @@ def _waitall(engine: "DistributedSpMVM", state: _SweepState) -> None:
 
 
 def _local_spmvm(engine: "DistributedSpMVM", state: _SweepState) -> None:
-    A = engine.halo.A_local
-    state.y = spmm(A, state.x) if state.x.ndim == 2 else spmv(A, state.x)
+    # compute ops dispatch through the engine's registered kernel spec
+    # (repro.sparse.registry); the operators were format-converted once
+    # at engine construction
+    kernel = engine.kernel
+    if state.x.ndim == 2:
+        state.y = kernel.spmm(engine.A_local_op, state.x)
+    else:
+        state.y = kernel.spmv(engine.A_local_op, state.x)
 
 
 def _remote_spmvm(engine: "DistributedSpMVM", state: _SweepState) -> None:
-    A = engine.halo.A_remote
+    kernel = engine.kernel
     halo = engine.halo_view(state.halo_out)
     if state.x.ndim == 2:
-        spmm_add(A, halo, out=state.y)
+        kernel.spmm_add(engine.A_remote_op, halo, out=state.y)
     else:
-        spmv_add(A, halo, out=state.y)
+        kernel.spmv_add(engine.A_remote_op, halo, out=state.y)
 
 
 def _full_spmvm(engine: "DistributedSpMVM", state: _SweepState) -> None:

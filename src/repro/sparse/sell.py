@@ -1,0 +1,220 @@
+"""SELL-C-sigma: the sorted/padded chunked sparse format.
+
+CSR's segmented-sum kernels are pinned to ``np.add.reduceat``, whose
+per-row sequential accumulation is latency-bound (~one scalar add per
+nonzero).  SELL-C-sigma (Kreutzer et al., the SIMD-friendly descendant
+of the sliced ELLPACK format the paper's GPU ancestors used) trades a
+little padding for a layout numpy can reduce with wide, vectorised
+kernels:
+
+* rows are sorted by descending nonzero count within windows of
+  ``sigma`` rows (``sigma = None`` sorts globally, maximising padding
+  efficiency; ``sigma = 1`` preserves the original order),
+* sorted rows are grouped into chunks of ``C`` rows, and every row in a
+  chunk is zero-padded to the chunk's longest row,
+* each chunk stores its column indices and values as dense
+  ``(C, chunk_len)`` arrays.
+
+The block kernel then contracts each chunk with one batched
+``np.matmul`` — the matrix data streams once per *block* of k vectors,
+which is precisely the amortisation the block code-balance model
+``6/k + 12/Nnzr + kappa/2`` promises and the CSR kernel's per-column
+passes cannot realise.
+
+Zero padding points at column 0 with value 0.0, so padded lanes
+contribute ``0.0 * x[0]``.  This requires a *finite* RHS: a ``nan`` or
+``inf`` in ``x[0]`` would turn padded lanes into ``nan``.  The paper's
+matrices and RHS vectors are finite; the registry records the kernel as
+tolerance-equivalent (``exact=False``) because the vectorised
+reductions also sum in a different order than the CRS reference.
+
+Build cost is O(nnz) plus the window sorts — paid once per operator via
+the registry's cache (:func:`repro.sparse.registry.build_operator`),
+then amortised over the solver's thousands of sweeps, mirroring how the
+paper treats the CRS setup itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.validate import check_out
+from repro.util import check_positive_int
+
+__all__ = [
+    "SellMatrix",
+    "sell_spmv",
+    "sell_spmv_add",
+    "sell_spmm",
+    "sell_spmm_add",
+]
+
+
+class SellMatrix:
+    """A CSR matrix repacked into SELL-C-sigma chunks.
+
+    Chunks are stored as parallel lists: ``chunk_rows[c]`` holds the
+    original row indices of chunk ``c`` (the sort permutation), and
+    ``chunk_cols[c]`` / ``chunk_vals[c]`` the padded ``(rows, len)``
+    index and value blocks.  Kernels scatter straight back to original
+    row order through ``chunk_rows``, so callers never see the sort.
+    """
+
+    __slots__ = (
+        "nrows",
+        "ncols",
+        "chunk",
+        "sigma",
+        "chunk_rows",
+        "chunk_cols",
+        "chunk_vals",
+        "nnz",
+        "nnz_stored",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        chunk: int,
+        sigma: int | None,
+        chunk_rows: list[np.ndarray],
+        chunk_cols: list[np.ndarray],
+        chunk_vals: list[np.ndarray],
+        nnz: int,
+    ):
+        self.nrows = nrows
+        self.ncols = ncols
+        self.chunk = chunk
+        self.sigma = sigma
+        self.chunk_rows = chunk_rows
+        self.chunk_cols = chunk_cols
+        self.chunk_vals = chunk_vals
+        self.nnz = nnz
+        self.nnz_stored = int(sum(cc.size for cc in chunk_cols))
+
+    @property
+    def pad_factor(self) -> float:
+        """Stored (padded) entries per actual nonzero; 1.0 is no padding."""
+        return self.nnz_stored / self.nnz if self.nnz else 1.0
+
+    @classmethod
+    def from_csr(
+        cls, A: CSRMatrix, *, chunk: int = 256, sigma: int | None = None
+    ) -> "SellMatrix":
+        """Repack *A*; ``sigma=None`` sorts all rows, ``sigma=1`` none.
+
+        The argsort is stable, so equal-length rows keep their relative
+        order — the packing is deterministic.
+        """
+        check_positive_int(chunk, "chunk")
+        if sigma is not None:
+            check_positive_int(sigma, "sigma")
+        lens = np.diff(A.row_ptr)
+        nrows = A.nrows
+        order = np.empty(nrows, dtype=np.int64)
+        window = nrows if sigma is None else sigma
+        for w0 in range(0, nrows, max(window, 1)):
+            w1 = min(w0 + max(window, 1), nrows)
+            order[w0:w1] = w0 + np.argsort(-lens[w0:w1], kind="stable")
+        chunk_rows, chunk_cols, chunk_vals = [], [], []
+        for c0 in range(0, nrows, chunk):
+            rows = order[c0 : c0 + chunk]
+            rlens = lens[rows]
+            width = int(rlens.max()) if rows.size else 0
+            cc = np.zeros((rows.size, width), dtype=np.int64)
+            vv = np.zeros((rows.size, width))
+            if width:
+                lane = np.arange(width)
+                mask = lane[None, :] < rlens[:, None]
+                gather = (A.row_ptr[rows][:, None] + lane[None, :])[mask]
+                cc[mask] = A.col_idx[gather]
+                vv[mask] = A.val[gather]
+            chunk_rows.append(rows)
+            chunk_cols.append(cc)
+            chunk_vals.append(vv)
+        return cls(
+            nrows, A.ncols, chunk, sigma, chunk_rows, chunk_cols, chunk_vals, A.nnz
+        )
+
+
+def _check_x(S: SellMatrix, x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size != S.ncols:
+        raise ValueError(f"x must be a vector of length {S.ncols}, got shape {x.shape}")
+    return x
+
+
+def _check_block(S: SellMatrix, X: np.ndarray) -> np.ndarray:
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[0] != S.ncols:
+        raise ValueError(
+            f"X must be a block of shape ({S.ncols}, k), got shape {X.shape}"
+        )
+    return X
+
+
+def sell_spmv(
+    S: SellMatrix, x: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """``C = S @ x``: per chunk, gather / multiply / row-sum, then scatter."""
+    x = _check_x(S, x)
+    if out is None:
+        out = np.empty(S.nrows)
+    else:
+        check_out(out, (S.nrows,))
+    for rows, cc, vv in zip(S.chunk_rows, S.chunk_cols, S.chunk_vals):
+        g = x.take(cc, mode="clip")
+        np.multiply(g, vv, out=g)
+        out[rows] = g.sum(axis=1)
+    return out
+
+
+def sell_spmv_add(S: SellMatrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Accumulate ``C += S @ x`` into a preallocated vector."""
+    x = _check_x(S, x)
+    check_out(out, (S.nrows,))
+    for rows, cc, vv in zip(S.chunk_rows, S.chunk_cols, S.chunk_vals):
+        g = x.take(cc, mode="clip")
+        np.multiply(g, vv, out=g)
+        out[rows] += g.sum(axis=1)
+    return out
+
+
+def sell_spmm(
+    S: SellMatrix, X: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """``C = S @ X``: one batched matmul per chunk.
+
+    ``vv[c]`` is ``(rows, len)`` and the gathered RHS ``(rows, len, k)``;
+    ``matmul`` contracts the padded-lane axis for all k columns in one
+    vectorised pass — the matrix chunk is read once for the whole block.
+    """
+    X = _check_block(S, X)
+    k = X.shape[1]
+    if out is None:
+        out = np.empty((S.nrows, k))
+    else:
+        check_out(out, (S.nrows, k))
+    for rows, cc, vv in zip(S.chunk_rows, S.chunk_cols, S.chunk_vals):
+        if cc.shape[1] == 0:
+            out[rows] = 0.0
+            continue
+        Xg = X.take(cc.ravel(), axis=0, mode="clip").reshape(*cc.shape, k)
+        out[rows] = np.matmul(vv[:, None, :], Xg)[:, 0, :]
+    return out
+
+
+def sell_spmm_add(S: SellMatrix, X: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Accumulate ``C += S @ X`` chunk by chunk."""
+    X = _check_block(S, X)
+    k = X.shape[1]
+    check_out(out, (S.nrows, k))
+    for rows, cc, vv in zip(S.chunk_rows, S.chunk_cols, S.chunk_vals):
+        if cc.shape[1] == 0:
+            continue
+        Xg = X.take(cc.ravel(), axis=0, mode="clip").reshape(*cc.shape, k)
+        out[rows] += np.matmul(vv[:, None, :], Xg)[:, 0, :]
+    return out

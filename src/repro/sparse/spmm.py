@@ -8,15 +8,35 @@ the per-MVM message count and latency (one halo exchange per batch).
 This is the block-vector step of Schubert et al. (arXiv:1106.5908)
 toward production spMVM.
 
-The block is stored row-major, shape ``(n, k)``: row ``j`` holds the k
-RHS values of vector element ``j``, so the gather ``X[col_idx]`` touches
-contiguous 8k-byte chunks — the cache-friendly layout the block code
-balance (:func:`repro.model.code_balance_block`) assumes.
+Earlier revisions implemented the block kernel as a literal 2-D
+analogue of the single-vector segmented sum: an ``(nnz, k)`` temporary
+``val[:, None] * X[col_idx]`` reduced with ``np.add.reduceat(axis=0)``.
+That formulation is *algorithmically* right and numerically identical,
+but in numpy it is catastrophically slow: both the broadcast multiply
+and the axis-0 ``reduceat`` run their inner loop over the tiny ``k``
+axis, paying per-*nonzero* ufunc dispatch overhead instead of
+per-*array*.  Measured on the benchmark matrix it inverted the block
+code balance ``6/k + 12/Nnzr + kappa/2`` (:mod:`repro.model`): k = 4
+cost 10x the k = 1 kernel for 4x the work, so batching *lost*
+throughput (0.26-0.68x of spmv per column).
 
-Every kernel shares the :func:`np.add.reduceat` segmented-sum core with
-the single-vector kernels: ``reduceat`` along axis 0 accumulates each
-column in exactly the order the 1-D kernel uses, so column ``j`` of
-``spmm(A, X)`` is *bit-identical* to ``spmv(A, X[:, j])``.
+The fused kernel below keeps every inner loop ``nnz`` long: the block
+is transposed once to row-per-column layout, and each column runs the
+contiguous gather → in-place multiply → 1-D ``reduceat`` pipeline of
+the single-vector kernel with no intermediate beyond one ``nnz``
+product per column.  Per column this is *cheaper* than ``spmv``
+(the transpose, the row-start bookkeeping and the Python dispatch
+amortise over the k columns, and the in-place multiply drops one
+``nnz`` temporary), so batching wins again — and column ``j`` of
+``spmm(A, X)`` stays *bit-identical* to ``spmv(A, X[:, j])``, because
+each column performs the same scalar multiplications (IEEE-754
+multiplication is commutative) and the same left-to-right per-row
+``reduceat`` accumulation.
+
+For the layout that additionally streams the matrix data once per
+block — the full code-balance win — see the SELL-C-sigma format in
+:mod:`repro.sparse.sell`, registered as a tolerance-equivalent kernel
+in :mod:`repro.sparse.registry`.
 
 Kernels
 -------
@@ -37,6 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sparse.csr import CSRMatrix
 
 from repro.sparse.csr import IDX_BYTES, RESULT_BYTES, RHS_BYTES, VAL_BYTES
+from repro.sparse.validate import check_out
 
 __all__ = ["spmm", "spmm_add", "spmm_rows", "spmm_traffic"]
 
@@ -46,30 +67,65 @@ def _segmented_block_rowsums(
     col_idx: np.ndarray,
     val: np.ndarray,
     X: np.ndarray,
-    out: np.ndarray | None = None,
+    out: np.ndarray,
+    *,
+    add: bool = False,
 ) -> np.ndarray:
-    """Per-row sums of ``val[:, None] * X[col_idx]`` via ``reduceat`` (axis 0).
+    """Fused per-column segmented row sums, bit-identical to the 1-D kernel.
 
-    The 2-D analogue of the single-vector segmented sum: each row's slice
-    is reduced independently per column, never crossing row boundaries.
-    Empty rows are masked out for the same reason as in the 1-D kernel.
+    Each column gathers its RHS contiguously, multiplies ``val`` in
+    place and reduces with the 1-D ``np.add.reduceat`` — every inner
+    loop is ``nnz`` elements long (never ``k``), which is what makes
+    the block kernel fast in numpy.  Empty rows are masked out for the
+    same reason as in the 1-D kernel: ``reduceat`` at a repeated offset
+    returns the element rather than an empty-sum 0.  ``k = 1`` runs the
+    exact single-vector pipeline on the block's only column, so the
+    degenerate batch can never regress relative to ``spmv``.
+
+    With ``add`` the per-row sums are accumulated into ``out`` instead
+    of overwriting it (the remote-part kernel of the split schemes).
     """
     nrows = row_ptr.size - 1
     k = X.shape[1]
-    if out is None:
-        out = np.empty((nrows, k))
-    if col_idx.size == 0:
-        out[:] = 0.0
+    if col_idx.size == 0 or k == 0:
+        if not add:
+            out[:] = 0.0
         return out
-    prod = val[:, None] * X[col_idx]
-    nonempty = row_ptr[1:] > row_ptr[:-1]
+    XT = np.ascontiguousarray(X.T)
+    starts = row_ptr[:-1]
+    nonempty = row_ptr[1:] > starts
     if nonempty.all():
-        np.add.reduceat(prod, row_ptr[:-1], axis=0, out=out)
-    else:
+        colbuf = None
+        for j in range(k):
+            # indices are validated at CSRMatrix construction; mode="clip"
+            # skips numpy's per-element bounds check in the gather
+            prod = XT[j].take(col_idx, mode="clip")
+            np.multiply(prod, val, out=prod)
+            ocol = out[:, j]
+            if not add and ocol.flags.c_contiguous:
+                # k == 1 (or a single-column view): reduce straight into
+                # the output, no staging copy at all
+                np.add.reduceat(prod, starts, out=ocol)
+                continue
+            if colbuf is None:
+                colbuf = np.empty(nrows)
+            np.add.reduceat(prod, starts, out=colbuf)
+            if add:
+                ocol += colbuf
+            else:
+                ocol[:] = colbuf
+        return out
+    if not add:
         out[:] = 0.0
-        starts = row_ptr[:-1][nonempty]
-        if starts.size:
-            out[nonempty] = np.add.reduceat(prod, starts, axis=0)
+    masked_starts = starts[nonempty]
+    if masked_starts.size:
+        for j in range(k):
+            prod = XT[j].take(col_idx, mode="clip")
+            np.multiply(prod, val, out=prod)
+            if add:
+                out[nonempty, j] += np.add.reduceat(prod, masked_starts)
+            else:
+                out[nonempty, j] = np.add.reduceat(prod, masked_starts)
     return out
 
 
@@ -95,29 +151,23 @@ def spmm(A: "CSRMatrix", X: np.ndarray, out: np.ndarray | None = None) -> np.nda
         Dense block of shape ``(n, k)`` — k right-hand sides, row-major.
     out:
         Optional preallocated float64 result of shape ``(m, k)``
-        (overwritten in place).
+        (overwritten in place).  A non-float64 ``out`` raises
+        :class:`ValueError` — it could only be honoured by a lossy cast
+        through a hidden temporary.
     """
     X = _check_block(A, X)
-    if out is not None:
-        if out.shape != (A.nrows, X.shape[1]):
-            raise ValueError(
-                f"out must have shape ({A.nrows}, {X.shape[1]}), got {out.shape}"
-            )
-        if out.dtype != np.float64:
-            out[:] = _segmented_block_rowsums(A.row_ptr, A.col_idx, A.val, X)
-            return out
-    return _segmented_block_rowsums(A.row_ptr, A.col_idx, A.val, X, out=out)
+    if out is None:
+        out = np.empty((A.nrows, X.shape[1]))
+    else:
+        check_out(out, (A.nrows, X.shape[1]))
+    return _segmented_block_rowsums(A.row_ptr, A.col_idx, A.val, X, out)
 
 
 def spmm_add(A: "CSRMatrix", X: np.ndarray, out: np.ndarray) -> np.ndarray:
     """Accumulate ``C += A @ X`` into a preallocated ``(m, k)`` block."""
     X = _check_block(A, X)
-    if out.shape != (A.nrows, X.shape[1]):
-        raise ValueError(
-            f"out must have shape ({A.nrows}, {X.shape[1]}), got {out.shape}"
-        )
-    out += _segmented_block_rowsums(A.row_ptr, A.col_idx, A.val, X)
-    return out
+    check_out(out, (A.nrows, X.shape[1]))
+    return _segmented_block_rowsums(A.row_ptr, A.col_idx, A.val, X, out, add=True)
 
 
 def spmm_rows(
@@ -131,11 +181,12 @@ def spmm_rows(
     if not (0 <= row_lo <= row_hi <= A.nrows):
         raise ValueError(f"invalid row range [{row_lo}, {row_hi})")
     X = _check_block(A, X)
+    check_out(out, (A.nrows, X.shape[1]))
     lo = int(A.row_ptr[row_lo])
     hi = int(A.row_ptr[row_hi])
     sub_ptr = A.row_ptr[row_lo : row_hi + 1] - lo
-    out[row_lo:row_hi] = _segmented_block_rowsums(
-        sub_ptr, A.col_idx[lo:hi], A.val[lo:hi], X
+    _segmented_block_rowsums(
+        sub_ptr, A.col_idx[lo:hi], A.val[lo:hi], X, out[row_lo:row_hi]
     )
     return out
 

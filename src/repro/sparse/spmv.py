@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sparse.csr import CSRMatrix
 
 from repro.sparse.csr import IDX_BYTES, RESULT_BYTES, RHS_BYTES, VAL_BYTES
+from repro.sparse.validate import check_out
 
 __all__ = [
     "spmv",
@@ -96,17 +97,15 @@ def spmv(A: "CSRMatrix", x: np.ndarray, out: np.ndarray | None = None) -> np.nda
     out:
         Optional preallocated float64 result of length ``m``
         (overwritten in place; the hot path allocates nothing beyond
-        the elementwise product).
+        the elementwise product).  A non-float64 ``out`` raises
+        :class:`ValueError` — it could only be honoured by a lossy cast
+        through a hidden temporary.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 1 or x.size != A.ncols:
         raise ValueError(f"x must be a vector of length {A.ncols}, got shape {x.shape}")
     if out is not None:
-        if out.shape != (A.nrows,):
-            raise ValueError(f"out must have shape ({A.nrows},), got {out.shape}")
-        if out.dtype != np.float64:
-            out[:] = _segmented_rowsums(A.row_ptr, A.col_idx, A.val, x)
-            return out
+        check_out(out, (A.nrows,))
     return _segmented_rowsums(A.row_ptr, A.col_idx, A.val, x, out=out)
 
 
@@ -115,8 +114,7 @@ def spmv_add(A: "CSRMatrix", x: np.ndarray, out: np.ndarray) -> np.ndarray:
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 1 or x.size != A.ncols:
         raise ValueError(f"x must be a vector of length {A.ncols}, got shape {x.shape}")
-    if out.shape != (A.nrows,):
-        raise ValueError(f"out must have shape ({A.nrows},), got {out.shape}")
+    check_out(out, (A.nrows,))
     out += _segmented_rowsums(A.row_ptr, A.col_idx, A.val, x)
     return out
 
@@ -134,6 +132,9 @@ def spmv_rows(
     if not (0 <= row_lo <= row_hi <= A.nrows):
         raise ValueError(f"invalid row range [{row_lo}, {row_hi})")
     x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size != A.ncols:
+        raise ValueError(f"x must be a vector of length {A.ncols}, got shape {x.shape}")
+    check_out(out, (A.nrows,))
     lo = int(A.row_ptr[row_lo])
     hi = int(A.row_ptr[row_hi])
     sub_ptr = A.row_ptr[row_lo : row_hi + 1] - lo
@@ -160,6 +161,8 @@ def spmv_split(
         raise ValueError("local and remote parts must have the same row count")
     if out is None:
         out = np.zeros(A_local.nrows)
+    else:
+        check_out(out, (A_local.nrows,))
     spmv(A_local, x_local, out=out)
     spmv_add(A_remote, x_remote, out=out)
     return out

@@ -82,11 +82,39 @@ def test_spmm_rejects_vector_input(mat_and_block):
         spmm(m, np.ones(40))
 
 
+def test_spmm_rejects_non_float64_out(mat_and_block):
+    """Regression: spmm used to allocate a temporary and lossily
+    down-cast it into a non-float64 ``out`` instead of raising."""
+    m, _d, X = mat_and_block
+    with pytest.raises(ValueError, match="out must have dtype float64"):
+        spmm(m, X, out=np.empty((40, 8), dtype=np.float32))
+    with pytest.raises(ValueError, match="out must have dtype float64"):
+        spmm_add(m, X, np.zeros((40, 8), dtype=np.int32))
+
+
+def test_spmm_rows_validates_out(mat_and_block):
+    """Regression: spmm_rows checked neither out shape nor dtype."""
+    m, _d, X = mat_and_block
+    with pytest.raises(ValueError, match="out must have shape"):
+        spmm_rows(m, X, 0, 10, np.zeros((40, 7)))
+    with pytest.raises(ValueError, match="out must have dtype float64"):
+        spmm_rows(m, X, 0, 10, np.zeros((40, 8), dtype=np.float32))
+
+
 def test_spmm_add_accumulates(mat_and_block):
     m, d, X = mat_and_block
     out = np.ones((40, 8))
     spmm_add(m, X, out)
     assert np.allclose(out, 1.0 + d @ X)
+
+
+def test_spmm_add_with_empty_rows():
+    # the masked (ragged) path of the accumulate kernel: empty rows must
+    # keep their prior contents untouched
+    m = CSRMatrix(np.array([0, 0, 1, 1]), np.array([0]), np.array([3.0]), ncols=2)
+    out = np.full((3, 2), 5.0)
+    spmm_add(m, np.array([[2.0, -1.0], [1.0, 5.0]]), out)
+    assert out.tolist() == [[5.0, 5.0], [11.0, 2.0], [5.0, 5.0]]
 
 
 def test_spmm_rows_partial(mat_and_block):

@@ -94,6 +94,57 @@ def test_traffic_rejects_negative_kappa():
 
 
 # ----------------------------------------------------------------------
+# out-buffer validation: one helper, one contract, every kernel
+# ----------------------------------------------------------------------
+def test_spmv_rejects_non_float64_out(mat_and_x):
+    """Regression: spmv used to allocate a temporary and lossily
+    down-cast it into a float32 ``out`` — precision silently lost and an
+    allocation exactly where the preallocated API promises none."""
+    m, _d, x = mat_and_x
+    with pytest.raises(ValueError, match="out must have dtype float64"):
+        spmv(m, x, out=np.empty(40, dtype=np.float32))
+
+
+def test_spmv_add_rejects_non_float64_out(mat_and_x):
+    m, _d, x = mat_and_x
+    with pytest.raises(ValueError, match="out must have dtype float64"):
+        spmv_add(m, x, np.zeros(40, dtype=np.int64))
+
+
+def test_spmv_rows_validates_out_and_x(mat_and_x):
+    """Regression: spmv_rows checked neither x length nor out shape."""
+    m, _d, x = mat_and_x
+    with pytest.raises(ValueError, match="out must have shape"):
+        spmv_rows(m, x, 0, 10, np.zeros(39))
+    with pytest.raises(ValueError, match="out must have dtype float64"):
+        spmv_rows(m, x, 0, 10, np.zeros(40, dtype=np.float32))
+    with pytest.raises(ValueError, match="x must be a vector"):
+        spmv_rows(m, np.ones(41), 0, 10, np.zeros(40))
+
+
+def test_spmv_split_validates_out(mat_and_x, rng):
+    """Regression: spmv_split never checked a caller-provided out."""
+    m, _d, x = mat_and_x
+    mask = rng.random(40) < 0.7
+    local, remote = m.column_mask_split(mask)
+    halo_cols = remote.columns_used()
+    mapping = np.zeros(40, dtype=np.int64)
+    mapping[halo_cols] = np.arange(halo_cols.size)
+    remote_c = remote.relabel_columns(mapping, max(1, halo_cols.size))
+    x_remote = x[halo_cols] if halo_cols.size else np.zeros(1)
+    with pytest.raises(ValueError, match="out must have shape"):
+        spmv_split(local, remote_c, x, x_remote, out=np.zeros(41))
+    with pytest.raises(ValueError, match="out must have dtype float64"):
+        spmv_split(local, remote_c, x, x_remote, out=np.zeros(40, dtype=np.float32))
+
+
+def test_spmv_rejects_non_array_out(mat_and_x):
+    m, _d, x = mat_and_x
+    with pytest.raises(ValueError, match="out must be a numpy array"):
+        spmv(m, x, out=[0.0] * 40)
+
+
+# ----------------------------------------------------------------------
 # kernel accuracy: the cross-row cancellation bug (fixed via reduceat)
 # ----------------------------------------------------------------------
 def test_spmv_no_cross_row_cancellation():
