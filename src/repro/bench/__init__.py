@@ -12,7 +12,13 @@ from repro.bench.harness import (
     time_callable,
     write_results,
 )
-from repro.bench.suite import BLOCK_WIDTHS, spmvm_suite
+from repro.bench.suite import (
+    BLOCK_WIDTHS,
+    SERVE_WARM_SPEEDUP_MIN,
+    kernel_guard,
+    serve_guard,
+    spmvm_suite,
+)
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -21,5 +27,8 @@ __all__ = [
     "time_callable",
     "write_results",
     "BLOCK_WIDTHS",
+    "SERVE_WARM_SPEEDUP_MIN",
+    "kernel_guard",
+    "serve_guard",
     "spmvm_suite",
 ]

@@ -15,7 +15,14 @@ Three groups mirror the layers of the implementation:
   accounting attached as derived figures;
 * ``program`` — the sweep-IR guard: the fixed dispatch cost of
   :func:`repro.program.execute_sweep` must stay under 5% of the
-  single-rank spmv hot path (asserted, not just reported).
+  single-rank spmv hot path (asserted, not just reported);
+* ``serve`` — the build-once/serve-many contract (:mod:`repro.serve`):
+  cold build-and-serve vs. warm requests against a persistent
+  :class:`~repro.serve.SolverService` (:func:`serve_guard` asserts the
+  warm path is at least :data:`SERVE_WARM_SPEEDUP_MIN` times faster),
+  plus coalesced-batch throughput with every response checked
+  bit-for-bit against the same service's independent per-request
+  answers.
 
 Every result carries a ``gflops`` derived figure (2 flops per nonzero
 per right-hand side, from the minimum sample), and every block result a
@@ -47,13 +54,33 @@ from repro.model.code_balance import block_speedup
 from repro.sparse import available_kernels, build_operator, get_kernel, spmm, spmv
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["BLOCK_WIDTHS", "KERNEL_GUARD_MIN_ROWS", "kernel_guard", "spmvm_suite"]
+__all__ = [
+    "BLOCK_WIDTHS",
+    "KERNEL_GUARD_MIN_ROWS",
+    "SERVE_WARM_SPEEDUP_MIN",
+    "kernel_guard",
+    "serve_guard",
+    "spmvm_suite",
+]
 
 #: Block widths exercised by the batched benchmarks.
 BLOCK_WIDTHS = (1, 4, 16)
 
 #: Smallest matrix on which :func:`kernel_guard` enforces block speedups.
 KERNEL_GUARD_MIN_ROWS = 2_000
+
+#: Minimum cold-build-and-serve / warm-request latency ratio
+#: (:func:`serve_guard`).  The whole point of the persistent service is
+#: amortising the one-time bookkeeping; if a warm request is not at
+#: least this much cheaper than a cold build-and-serve, the service
+#: stopped paying for itself.
+SERVE_WARM_SPEEDUP_MIN = 5.0
+
+#: Smallest matrix on which :func:`serve_guard` enforces the ratio.  On
+#: sub-guard matrices the one-time bookkeeping is so cheap that thread
+#: spin-up dominates the cold side and the ratio sits at the bound by
+#: noise alone — the same reasoning as :data:`KERNEL_GUARD_MIN_ROWS`.
+SERVE_GUARD_MIN_ROWS = 2_000
 
 
 def _gflops(nnz: int, k: int, seconds: float) -> float:
@@ -441,6 +468,141 @@ def _program_overhead_bench(
     ]
 
 
+def _serve_benches(
+    A: CSRMatrix,
+    rng: np.random.Generator,
+    *,
+    nranks: int,
+    scheme: str,
+    warmup: int,
+    repeat: int,
+) -> list[BenchResult]:
+    """The serve group: cold vs. warm latency, coalesced throughput.
+
+    *Cold* builds a fresh model (bypassing every process-wide cache)
+    and serves one request through a new service; *warm* reuses one
+    persistent service for every request — the ratio is the amortised
+    one-time cost the ``repro.serve`` tentpole exists to capture.  The
+    coalesced bench first serves 16 right-hand sides as independent
+    width-1 requests, then re-serves them as coalesced spmm batches and
+    asserts bit-identity between the two before reporting throughput —
+    a wrong fast path is worse than no fast path.
+    """
+    from repro.serve import SolverService, build_model
+
+    base = {"nrows": A.nrows, "nnz": A.nnz, "nranks": nranks, "scheme": scheme}
+    x = rng.standard_normal(A.ncols)
+
+    def cold() -> None:
+        model = build_model(A, nranks, scheme=scheme, reuse_caches=False)
+        with SolverService(model, name="bench-cold") as svc:
+            svc.solve(x)
+
+    cold_stats = time_callable(cold, warmup=1, repeat=max(repeat, 3))
+    results = [
+        BenchResult(
+            name="serve-cold", group="serve",
+            warmup=1, repeat=max(repeat, 3), seconds=cold_stats, params=base,
+            derived={"gflops": _gflops(A.nnz, 1, cold_stats.min)},
+        )
+    ]
+
+    model = build_model(A, nranks, scheme=scheme)
+    n_req = 16
+    max_batch = 8
+    with SolverService(model, max_batch=max_batch, name="bench-warm") as service:
+        warm_repeat = max(repeat, 10)
+        warm_stats = time_callable(
+            lambda: service.solve(x), warmup=max(warmup, 2), repeat=warm_repeat
+        )
+        warm_speedup = cold_stats.min / warm_stats.min
+        results.append(
+            BenchResult(
+                name="serve-warm", group="serve",
+                warmup=max(warmup, 2), repeat=warm_repeat,
+                seconds=warm_stats, params=base,
+                derived={
+                    "gflops": _gflops(A.nnz, 1, warm_stats.min),
+                    "warm_speedup_vs_cold": warm_speedup,
+                    "guard_min": SERVE_WARM_SPEEDUP_MIN,
+                },
+            )
+        )
+
+        Xs = rng.standard_normal((n_req, A.ncols))
+        refs = [service.solve(Xs[i]) for i in range(n_req)]
+        walls, widths = [], []
+        for _ in range(max(repeat, 3)):
+            before = len(service.stats["batch_widths"])
+            t0 = time.perf_counter()
+            with service.hold():
+                reqs = [service.submit(Xs[i]) for i in range(n_req)]
+            ys = [service.gather(r) for r in reqs]
+            walls.append(time.perf_counter() - t0)
+            widths = service.stats["batch_widths"][before:]
+            for i in range(n_req):
+                if not np.array_equal(ys[i], refs[i]):
+                    raise AssertionError(
+                        f"coalesced response {i} is not bit-identical to the "
+                        f"independent width-1 request for the same RHS; "
+                        f"refusing to report throughput of a wrong fast path"
+                    )
+        coalesced_stats = TimingStats(tuple(walls))
+        results.append(
+            BenchResult(
+                name="serve-coalesced", group="serve",
+                warmup=0, repeat=len(walls), seconds=coalesced_stats,
+                params={**base, "requests": n_req, "max_batch": max_batch},
+                derived={
+                    "gflops": _gflops(A.nnz, n_req, coalesced_stats.min),
+                    "throughput_rps": n_req / coalesced_stats.min,
+                    "mean_batch_width": (sum(widths) / len(widths)) if widths else 0.0,
+                    "speedup_vs_warm": n_req * warm_stats.min / coalesced_stats.min,
+                    "bit_identical": 1.0,
+                },
+            )
+        )
+    return results
+
+
+def serve_guard(results: list[BenchResult]) -> list[str]:
+    """Assert the build-once/serve-many contract holds.
+
+    A warm request against the persistent service must be at least
+    :data:`SERVE_WARM_SPEEDUP_MIN` times faster than a cold
+    build-and-serve, and the coalesced bench must have proven
+    bit-identity (it raises before producing a result otherwise, so
+    here it is checked as presence of the marker).  Sub-guard matrices
+    (:data:`SERVE_GUARD_MIN_ROWS`) are reported but not enforced.
+    Returns the names enforced; raises :class:`AssertionError` on
+    violation.
+    """
+    enforced = []
+    for r in results:
+        if r.group != "serve":
+            continue
+        if r.params.get("nrows", 0) < SERVE_GUARD_MIN_ROWS:
+            continue
+        if r.name == "serve-warm":
+            speedup = r.derived["warm_speedup_vs_cold"]
+            if speedup < SERVE_WARM_SPEEDUP_MIN:
+                raise AssertionError(
+                    f"serve-warm: warm_speedup_vs_cold is {speedup:.2f} "
+                    f"(guard: >= {SERVE_WARM_SPEEDUP_MIN}); a warm request "
+                    f"should amortise away the one-time build cost — the "
+                    f"service is rebuilding state it was meant to keep"
+                )
+            enforced.append(r.name)
+        elif r.name == "serve-coalesced":
+            if r.derived.get("bit_identical") != 1.0:
+                raise AssertionError(
+                    "serve-coalesced: missing the bit-identity marker; the "
+                    "coalesced path was benchmarked without being verified"
+                )
+            enforced.append(r.name)
+    return enforced
+
+
 def spmvm_suite(
     *,
     quick: bool = False,
@@ -468,5 +630,9 @@ def spmvm_suite(
         A, rng, nranks=nranks, scheme=scheme, warmup=warmup, repeat=repeat
     )
     results += _program_overhead_bench(rng, warmup=warmup, repeat=repeat)
+    results += _serve_benches(
+        A, rng, nranks=nranks, scheme=scheme, warmup=warmup, repeat=repeat
+    )
     kernel_guard(results)
+    serve_guard(results)
     return results

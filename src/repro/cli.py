@@ -52,6 +52,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         ("check", "communication correctness analyzer (repro.check)"),
         ("probe", "Sect. 3 asynchronous-progress probe"),
         ("bench", "timed spMVM micro-benchmarks → BENCH_spmvm.json"),
+        ("serve", "persistent solver service: build once, stream requests"),
         ("kernels", "list the registered spMVM kernels (repro.sparse.registry)"),
         ("matrix", "build and describe one registry matrix"),
         ("all", "run every experiment in sequence"),
@@ -341,6 +342,38 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a request stream from a persistent solver service.
+
+    Builds the matrix's :class:`~repro.serve.BuiltModel` once
+    (optionally round-tripping it through the ``repro-model/1`` file
+    given with ``--model``), keeps a worker pool alive, and fires
+    ``--requests`` right-hand sides at it from ``--concurrency``
+    submitter threads.  Prints build cost, latency percentiles,
+    throughput, coalesced batch widths, and verifies a sample of
+    responses against independent distributed spMVM runs.
+    """
+    from repro.matrices import get_matrix
+    from repro.serve import run_request_stream
+
+    A = get_matrix(args.matrix, args.scale).build_cached()
+    report = run_request_stream(
+        A,
+        args.nranks,
+        scheme=args.scheme,
+        kernel=args.kernel,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        max_batch=args.max_batch,
+        seed=args.seed,
+        verify=args.verify,
+        model_path=args.model,
+        matrix_label=f"{args.matrix}/{args.scale}",
+    )
+    print(report.render())
+    return 0
+
+
 def _cmd_kernels(_args: argparse.Namespace) -> int:
     """List every registered sparse kernel (format/variant, equivalence)."""
     from repro.sparse import DEFAULT_KERNEL, available_kernels, get_kernel
@@ -473,6 +506,24 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--seed", type=int, default=7)
     pb.add_argument("--output", metavar="PATH", default="BENCH_spmvm.json",
                     help="where to write the repro-bench/1 JSON (default: %(default)s)")
+    ps = add("serve", _cmd_serve)
+    ps.add_argument("--matrix", default="HMeP", choices=("HMeP", "HMEp", "sAMG"))
+    ps.add_argument("--scale", default="tiny")
+    ps.add_argument("--nranks", type=int, default=4)
+    ps.add_argument("--scheme", default="task_mode",
+                    choices=("no_overlap", "naive_overlap", "task_mode"))
+    ps.add_argument("--kernel", default="csr",
+                    help="registered kernel key (see `repro kernels`)")
+    ps.add_argument("--requests", type=int, default=64)
+    ps.add_argument("--concurrency", type=int, default=8,
+                    help="concurrent submitter threads")
+    ps.add_argument("--max-batch", type=int, default=8,
+                    help="max coalesced columns per spmm batch")
+    ps.add_argument("--verify", type=int, default=4,
+                    help="responses to re-check against independent runs")
+    ps.add_argument("--seed", type=int, default=7)
+    ps.add_argument("--model", metavar="PATH", default=None,
+                    help="save the built model here and serve from the reloaded copy")
     add("kernels", _cmd_kernels)
     pm = add("matrix", _cmd_matrix)
     pm.add_argument("name", choices=("HMeP", "HMEp", "sAMG"))

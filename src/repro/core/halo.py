@@ -231,9 +231,10 @@ def build_halo_plan(
 # ----------------------------------------------------------------------
 # plan cache: solvers and benchmarks re-multiply the same matrix on the
 # same partition thousands of times; the bookkeeping "needs to be done
-# only once" (Sect. 3.1), so key it on the matrix *identity*
+# only once" (Sect. 3.1), so key it on the matrix *identity* — guarded
+# by a structure fingerprint so in-place mutation rebuilds the plan
 # ----------------------------------------------------------------------
-_PLAN_CACHE: dict[tuple[int, int, str, bool], tuple[weakref.ref, HaloPlan]] = {}
+_PLAN_CACHE: dict[tuple[int, int, str, bool], tuple[weakref.ref, tuple, HaloPlan]] = {}
 _PLAN_CACHE_MAX = 32
 
 
@@ -242,21 +243,26 @@ def cached_halo_plan(
 ) -> HaloPlan:
     """Partition *A* and build (or reuse) its halo plan.
 
-    Plans are cached keyed on ``(id(A), nparts, strategy)`` — a weak
-    reference guards against id reuse after the matrix is garbage
-    collected, and matrices are treated as immutable once partitioned
-    (everything in this repository builds a matrix once and multiplies
-    it many times).  The cache is bounded; oldest entries fall out first.
+    Plans are cached keyed on ``(id(A), nparts, strategy)``, with two
+    guards on each hit: a weak reference against id reuse after the
+    matrix is garbage collected, and the matrix's
+    :meth:`~repro.sparse.csr.CSRMatrix.structure_fingerprint` against
+    in-place mutation.  A long-lived service may legitimately rebuild a
+    matrix's structure between requests; returning the old plan then
+    silently computes with the wrong sparsity pattern (wrong halos,
+    wrong sub-matrices), so a fingerprint mismatch rebuilds the plan
+    instead.  The cache is bounded; oldest entries fall out first.
     """
     from repro.sparse.partition import partition_matrix
 
     key = (id(A), int(nparts), strategy, with_matrices)
+    fingerprint = A.structure_fingerprint()
     hit = _PLAN_CACHE.get(key)
-    if hit is not None and hit[0]() is A:
-        return hit[1]
+    if hit is not None and hit[0]() is A and hit[1] == fingerprint:
+        return hit[2]
     partition = partition_matrix(A, nparts, strategy=strategy)
     plan = build_halo_plan(A, partition, with_matrices=with_matrices)
-    dead = [k for k, (ref, _p) in _PLAN_CACHE.items() if ref() is None]
+    dead = [k for k, (ref, _fp, _p) in _PLAN_CACHE.items() if ref() is None]
     for k in dead:
         del _PLAN_CACHE[k]
     # only evict when actually inserting a new key — refreshing an entry
@@ -264,5 +270,5 @@ def cached_halo_plan(
     if key not in _PLAN_CACHE:
         while len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
             del _PLAN_CACHE[next(iter(_PLAN_CACHE))]
-    _PLAN_CACHE[key] = (weakref.ref(A), plan)
+    _PLAN_CACHE[key] = (weakref.ref(A), fingerprint, plan)
     return plan

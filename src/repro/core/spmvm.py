@@ -44,7 +44,7 @@ from repro.comm.exec import RankExchange
 from repro.comm.plan import PLAN_KINDS, CommPlan, cached_comm_plan
 from repro.core.halo import RankHalo, cached_halo_plan
 from repro.mpilite.comm import Comm
-from repro.program.build import build_sweep
+from repro.program.build import cached_sweep_program
 from repro.program.exec import execute_sweep
 from repro.program.ir import SweepProgram
 from repro.sparse.csr import CSRMatrix
@@ -127,7 +127,6 @@ class DistributedSpMVM:
         }
         # block (k-column) buffers, grown lazily per batch width
         self._block_bufs: dict[int, tuple[np.ndarray, dict[int, np.ndarray]]] = {}
-        self._programs: dict[str, SweepProgram] = {}
         self.iterations = 0
 
     def _build_offsets(self) -> dict[int, tuple[int, int]]:
@@ -156,15 +155,16 @@ class DistributedSpMVM:
         return bufs
 
     def program(self, scheme: str) -> SweepProgram:
-        """The (cached) sweep program this engine runs for *scheme*."""
-        prog = self._programs.get(scheme)
-        if prog is None:
-            prog = build_sweep(
-                scheme,
-                comm_plan="plan" if self.exchange is not None else "classic",
-            )
-            self._programs[scheme] = prog
-        return prog
+        """The compiled sweep program this engine runs for *scheme*.
+
+        Compiled once per ``(scheme, lowering)`` process-wide
+        (:func:`repro.program.cached_sweep_program`) — every engine of a
+        persistent worker pool shares the same program instances.
+        """
+        return cached_sweep_program(
+            scheme,
+            comm_plan="plan" if self.exchange is not None else "classic",
+        )
 
     # ------------------------------------------------------------------
     def multiply(

@@ -7,8 +7,8 @@ predicts its timing on the paper's machines.
 
 from repro.mpilite.comm import CollectiveState, Comm, Request
 from repro.mpilite.procs import ProcComm, run_spmd_processes
-from repro.mpilite.router import ANY_SOURCE, ANY_TAG, Router
-from repro.mpilite.world import PerRank, run_spmd
+from repro.mpilite.router import ANY_SOURCE, ANY_TAG, Router, WorldAbortedError
+from repro.mpilite.world import PerRank, World, open_world, run_spmd
 
 __all__ = [
     "ANY_SOURCE",
@@ -17,7 +17,10 @@ __all__ = [
     "Request",
     "CollectiveState",
     "Router",
+    "WorldAbortedError",
     "run_spmd",
+    "open_world",
+    "World",
     "PerRank",
     "ProcComm",
     "run_spmd_processes",

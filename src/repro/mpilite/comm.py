@@ -30,9 +30,22 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.mpilite.router import ANY_SOURCE, ANY_TAG, Router
+from repro.mpilite.router import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Router,
+    WorldAbortedError,
+    observer_wait_slice,
+)
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Request", "Comm", "CollectiveState"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Request",
+    "Comm",
+    "CollectiveState",
+    "WorldAbortedError",
+]
 
 _DEFAULT_TIMEOUT = 60.0
 
@@ -111,6 +124,26 @@ class CollectiveState:
         self._results: dict[int, Any] = {}
         self._generation = 0
         self._arrived = 0
+        self._abort_reason: str | None = None
+
+    def abort(self, reason: str) -> None:
+        """Wake every rank blocked in a collective with an error.
+
+        The point-to-point twin lives on :meth:`Router.abort`; both are
+        driven together by a world/worker-pool teardown so a shutdown
+        mid-collective raises :class:`WorldAbortedError` immediately
+        instead of racing the collective timeout.
+        """
+        with self._lock:
+            self._abort_reason = str(reason)
+            self._lock.notify_all()
+
+    def _check_abort(self, rank: int, gen: int) -> None:
+        if self._abort_reason is not None:
+            raise WorldAbortedError(
+                f"rank {rank}: collective generation {gen} aborted: "
+                f"{self._abort_reason}"
+            )
 
     def exchange(self, rank: int, value: Any, combine: Callable[[dict[int, Any]], Any]) -> Any:
         """Deposit *value*; the last arriving rank runs *combine* over all
@@ -119,6 +152,7 @@ class CollectiveState:
 
         with self._lock:
             gen = self._generation
+            self._check_abort(rank, gen)
             self._slots.setdefault(gen, {})[rank] = value
             self._arrived += 1
             obs = self.observer
@@ -131,6 +165,7 @@ class CollectiveState:
                 self._lock.notify_all()
             else:
                 deadline = time.monotonic() + self.timeout
+                backoff = obs.poll_interval if obs is not None else 0.0
                 while gen not in self._results:
                     remaining = deadline - time.monotonic()
                     # A notification can land exactly at the deadline: the
@@ -144,8 +179,13 @@ class CollectiveState:
                             f"rank {rank}: collective generation {gen} never "
                             f"completed within {self.timeout} s"
                         )
-                    wait_slice = remaining if obs is None else min(obs.poll_interval, remaining)
+                    if obs is None:
+                        wait_slice = remaining
+                    else:
+                        # bounded backoff: diagnosable, but near-zero idle CPU
+                        wait_slice, backoff = observer_wait_slice(obs, backoff, remaining)
                     self._lock.wait(timeout=wait_slice)
+                    self._check_abort(rank, gen)
                     if obs is not None:
                         obs.check_blocked(rank)
             result = self._results[gen]

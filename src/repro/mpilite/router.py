@@ -31,12 +31,42 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Router"]
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Router", "WorldAbortedError", "observer_wait_slice"]
 
 #: Wildcard source rank for receives (matches any sender).
 ANY_SOURCE = -1
 #: Wildcard tag for receives (matches any tag).
 ANY_TAG = -1
+
+#: Cap on the observer-mode wait slice (seconds) once the bounded
+#: backoff has grown it; bounds both idle CPU *and* detection latency.
+OBSERVER_WAIT_SLICE_MAX = 0.25
+
+
+class WorldAbortedError(RuntimeError):
+    """The mpilite world was torn down while an operation was blocked.
+
+    Raised (with rank/peer/tag provenance) by every wait that was in
+    flight when :meth:`Router.abort` ran — a worker-pool shutdown or a
+    failed peer must surface here immediately instead of each survivor
+    burning its full receive/collective timeout.
+    """
+
+
+def observer_wait_slice(obs, backoff: float, remaining: float | None) -> tuple[float, float]:
+    """Next condition-wait slice under an attached observer, with backoff.
+
+    Observer-mode waits run in slices so the analyzer can convert a
+    wait-for cycle into an immediate diagnosis — but a worker pool
+    sitting idle between requests must not spin at the poll interval
+    forever.  The slice starts at ``obs.poll_interval`` and doubles up
+    to :data:`OBSERVER_WAIT_SLICE_MAX` while the wait stays blocked,
+    bounding idle wakeups while keeping detection latency bounded too.
+    Returns ``(slice, next_backoff)``; *remaining* (time to the
+    deadline) caps the slice when finite.
+    """
+    wait_slice = backoff if remaining is None else min(backoff, remaining)
+    return wait_slice, min(backoff * 2.0, OBSERVER_WAIT_SLICE_MAX)
 
 
 def _copy_payload(payload: Any) -> Any:
@@ -66,17 +96,45 @@ class Router:
         self._boxes: dict[tuple[int, int, int], deque[tuple[int, Any]]] = {}
         self._bytes_routed = 0
         self._messages = 0
+        self._abort_reason: str | None = None
         #: optional :class:`repro.check.CommRecorder` (or any object with
         #: the same observer interface); ``None`` keeps the fast path
         self.observer: Any = None
 
     # ------------------------------------------------------------------
+    def abort(self, reason: str) -> None:
+        """Tear the world down: wake every blocked wait with an error.
+
+        After ``abort`` every blocked or future :meth:`get`/:meth:`put`
+        raises :class:`WorldAbortedError` carrying *reason* plus the
+        operation's rank/peer/tag — the teardown path a persistent
+        worker pool takes so a shutdown (or a dead peer) mid-request
+        fails loudly in milliseconds instead of hanging each survivor
+        for its full timeout.
+        """
+        with self._lock:
+            self._abort_reason = str(reason)
+            self._lock.notify_all()
+
+    @property
+    def aborted(self) -> str | None:
+        """The abort reason, or ``None`` while the world is live."""
+        return self._abort_reason
+
+    def _check_abort(self, dst: int, src: int, tag: int, op: str) -> None:
+        if self._abort_reason is not None:
+            raise WorldAbortedError(
+                f"rank {dst}: {op} (peer {_describe_src(src)}, tag "
+                f"{_describe_tag(tag)}) aborted: {self._abort_reason}"
+            )
+
     def put(self, src: int, dst: int, tag: int, payload: Any) -> None:
         """Deposit a message (copies numpy payloads)."""
         self._check_rank(src, "src")
         self._check_rank(dst, "dst")
         item = _copy_payload(payload)
         with self._lock:
+            self._check_abort(src, dst, tag, "send")
             self._boxes.setdefault((dst, src, tag), deque()).append((self._messages, item))
             self._messages += 1
             nbytes = item.nbytes if isinstance(item, np.ndarray) else 0
@@ -99,10 +157,12 @@ class Router:
             self._check_rank(src, "src")
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
+            self._check_abort(dst, src, tag, "blocked receive")
             key = self._match(dst, src, tag)
             if key is not None:
                 return self._take(key, dst, src, tag)
             obs = self.observer
+            backoff = obs.poll_interval if obs is not None else 0.0
             try:
                 if obs is not None:
                     obs.on_recv_blocked(dst, src, tag)
@@ -115,12 +175,12 @@ class Router:
                         )
                     wait_slice = remaining
                     if obs is not None:
-                        wait_slice = (
-                            obs.poll_interval
-                            if remaining is None
-                            else min(obs.poll_interval, remaining)
-                        )
+                        # slices let the observer diagnose deadlocks, but
+                        # back off exponentially (bounded) so an idle pool
+                        # does not spin at the poll interval forever
+                        wait_slice, backoff = observer_wait_slice(obs, backoff, remaining)
                     self._lock.wait(timeout=wait_slice)
+                    self._check_abort(dst, src, tag, "blocked receive")
                     if obs is not None:
                         obs.check_blocked(dst)
                     key = self._match(dst, src, tag)

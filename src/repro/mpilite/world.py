@@ -5,6 +5,14 @@ rank, hands each a :class:`~repro.mpilite.comm.Comm`, runs the given
 function everywhere and collects the per-rank return values.  Exceptions
 on any rank are re-raised on the caller (first failing rank wins) so
 test failures stay loud.
+
+:func:`open_world` is the *persistent* variant: it builds the shared
+runtime (router, collective state, one communicator per rank) and hands
+it to the caller to keep alive across many requests — the substrate of
+the :mod:`repro.serve` worker pool.  :meth:`World.abort` tears it down,
+waking every blocked operation with a provenance-carrying
+:class:`~repro.mpilite.router.WorldAbortedError` instead of letting
+survivors run out their timeouts.
 """
 
 from __future__ import annotations
@@ -16,7 +24,65 @@ from repro.mpilite.comm import CollectiveState, Comm
 from repro.mpilite.router import Router
 from repro.util import check_positive_int
 
-__all__ = ["run_spmd"]
+__all__ = ["run_spmd", "open_world", "World", "PerRank"]
+
+
+class World:
+    """The long-lived shared runtime of one mpilite world.
+
+    Owns the router, the collective state and one pre-built communicator
+    per rank.  Unlike :func:`run_spmd`, which stands all of this up and
+    tears it down per call, a ``World`` persists across requests — any
+    thread may drive ``world.comms[r]`` as rank *r* for as long as the
+    world lives.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        recv_timeout: float | None = None,
+        recorder: Any = None,
+    ) -> None:
+        nranks = check_positive_int(nranks, "nranks")
+        self.router = Router(nranks)
+        self.collectives = CollectiveState(nranks, timeout=recv_timeout)
+        if recorder is not None:
+            self.router.observer = recorder
+            self.collectives.observer = recorder
+        self.recorder = recorder
+        self.comms = [
+            Comm(r, self.router, self.collectives, default_timeout=recv_timeout,
+                 recorder=recorder)
+            for r in range(nranks)
+        ]
+
+    @property
+    def nranks(self) -> int:
+        """World size."""
+        return self.router.nranks
+
+    @property
+    def aborted(self) -> str | None:
+        """The abort reason, or ``None`` while the world is live."""
+        return self.router.aborted
+
+    def abort(self, reason: str) -> None:
+        """Tear the world down: every blocked or future operation raises
+        :class:`~repro.mpilite.router.WorldAbortedError` naming *reason*
+        plus its own rank/peer/tag."""
+        self.router.abort(reason)
+        self.collectives.abort(reason)
+
+
+def open_world(
+    nranks: int,
+    *,
+    recv_timeout: float | None = None,
+    recorder: Any = None,
+) -> World:
+    """Build a persistent mpilite :class:`World` (see class docs)."""
+    return World(nranks, recv_timeout=recv_timeout, recorder=recorder)
 
 
 def run_spmd(
@@ -42,17 +108,13 @@ def run_spmd(
     uninstrumented fast path.
     """
     nranks = check_positive_int(nranks, "nranks")
-    router = Router(nranks)
-    coll = CollectiveState(nranks, timeout=recv_timeout)
-    if recorder is not None:
-        router.observer = recorder
-        coll.observer = recorder
+    world = World(nranks, recv_timeout=recv_timeout, recorder=recorder)
     results: list[Any] = [None] * nranks
     errors: list[tuple[int, BaseException]] = []
     lock = threading.Lock()
 
     def runner(rank: int) -> None:
-        comm = Comm(rank, router, coll, default_timeout=recv_timeout, recorder=recorder)
+        comm = world.comms[rank]
         rank_args = tuple(a.values[rank] if isinstance(a, PerRank) else a for a in args)
         rank_kwargs = {
             k: (v.values[rank] if isinstance(v, PerRank) else v) for k, v in kwargs.items()

@@ -14,7 +14,9 @@ This package turns them into artefacts a human or a test can consume:
 * :mod:`repro.obs.summary` — a per-phase ASCII summary table,
 * :mod:`repro.obs.analysis` — transfer-segment reconstruction: how many
   bytes each rendezvous message moved inside any time window, the basis
-  of the Fig. 4 overlap validation.
+  of the Fig. 4 overlap validation,
+* :mod:`repro.obs.latency` — request-latency percentile summaries and
+  throughput rates for the solver service (:mod:`repro.serve`).
 """
 
 from repro.obs.analysis import (
@@ -25,6 +27,7 @@ from repro.obs.analysis import (
     transfer_segments,
 )
 from repro.obs.chrome import chrome_trace_events, to_chrome_trace, write_chrome_trace
+from repro.obs.latency import latency_summary, percentile, throughput
 from repro.obs.metrics import comm_phase_messages, simulation_metrics
 from repro.obs.summary import phase_summary
 
@@ -40,4 +43,7 @@ __all__ = [
     "simulation_metrics",
     "comm_phase_messages",
     "phase_summary",
+    "latency_summary",
+    "percentile",
+    "throughput",
 ]

@@ -14,7 +14,12 @@ and :func:`lint_sweep_program` proves a program's structural invariants
 before either backend touches it.  See DESIGN.md §10.
 """
 
-from repro.program.build import PROGRAM_SCHEMES, all_sweep_programs, build_sweep
+from repro.program.build import (
+    PROGRAM_SCHEMES,
+    all_sweep_programs,
+    build_sweep,
+    cached_sweep_program,
+)
 from repro.program.exec import execute_sweep
 from repro.program.ir import (
     COMM_OPS,
@@ -38,6 +43,7 @@ __all__ = [
     "SweepProgram",
     "PROGRAM_SCHEMES",
     "build_sweep",
+    "cached_sweep_program",
     "all_sweep_programs",
     "execute_sweep",
     "sweep_process",

@@ -30,10 +30,12 @@ and under the program lint.
 
 from __future__ import annotations
 
+import functools
+
 from repro.program.ir import SweepOp, SweepProgram
 from repro.util import check_in
 
-__all__ = ["PROGRAM_SCHEMES", "build_sweep", "all_sweep_programs"]
+__all__ = ["PROGRAM_SCHEMES", "build_sweep", "cached_sweep_program", "all_sweep_programs"]
 
 #: The Fig. 4 schemes, in paper order.  (Kept equal to
 #: ``repro.core.spmvm.SCHEMES`` / ``repro.core.schemes.SIM_SCHEMES`` by
@@ -95,6 +97,25 @@ def build_sweep(
         lowering=comm_plan,
         meta={"builder": "build_sweep"},
     )
+
+
+@functools.lru_cache(maxsize=None)
+def cached_sweep_program(
+    scheme: str,
+    *,
+    block_k: int = 1,
+    comm_plan: str = "classic",
+) -> SweepProgram:
+    """The compile-once twin of :func:`build_sweep`.
+
+    Programs are immutable data, so every engine and every
+    :class:`~repro.serve.BuiltModel` asking for the same
+    ``(scheme, block_k, lowering)`` shares one compiled instance — the
+    build-once/serve-many contract applied to the IR itself.  The
+    domain is tiny (schemes × lowerings × a few block widths), so the
+    memo is unbounded.
+    """
+    return build_sweep(scheme, block_k=block_k, comm_plan=comm_plan)
 
 
 def all_sweep_programs(

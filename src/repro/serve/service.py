@@ -1,0 +1,432 @@
+"""SolverService: a persistent worker pool serving spMVM requests.
+
+The serve-many half of build-once/serve-many.  One
+:class:`SolverService` owns one long-lived mpilite
+:class:`~repro.mpilite.world.World` whose per-rank worker threads hold
+their :class:`~repro.core.spmvm.DistributedSpMVM` engines — built from
+a :class:`~repro.serve.model.BuiltModel` — for the lifetime of the
+service.  Requests stream through an async ticket API
+(:meth:`~SolverService.submit` / :meth:`~SolverService.poll` /
+:meth:`~SolverService.gather`); :meth:`~SolverService.solve` is the
+synchronous convenience wrapper.
+
+**Coalescing policy** (DESIGN.md §12): the dispatcher keeps *at most
+one batch in flight*.  While a batch is being swept, newly submitted
+right-hand sides queue up; when the batch completes, everything queued
+(up to ``max_batch`` columns) is concatenated into one spmm sweep —
+one halo exchange amortised over the whole batch.  Under load, batches
+widen automatically; an idle service degenerates to per-request spmv
+with zero added latency.  Because spmm is column-wise bit-identical to
+spmv for exact kernels (PR 6's registry contract), coalescing never
+changes anyone's answer.
+
+**Lifecycle**: all waiting is condition-variable based — an idle
+service burns no CPU.  A worker failure mid-request aborts the world
+(:meth:`~repro.mpilite.world.World.abort`), which wakes every peer
+blocked in the halo exchange immediately with a
+:class:`~repro.mpilite.router.WorldAbortedError` carrying rank/peer/tag
+provenance — not after the 60 s collective timeout — and fails the
+batch's tickets with a descriptive :class:`ServiceError`.
+:meth:`~SolverService.close` drains by default; ``drain=False`` cancels
+queued requests (the in-flight batch always completes or fails).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.mpilite.world import open_world
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.model import BuiltModel
+
+__all__ = ["ServeRequest", "ServiceClosedError", "ServiceError", "SolverService"]
+
+
+class ServiceError(RuntimeError):
+    """A request failed inside the service (worker fault, aborted world)."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service was closed (or had failed) when the request needed it."""
+
+
+class ServeRequest:
+    """Ticket for one submitted right-hand side (or block of them).
+
+    Returned by :meth:`SolverService.submit`; resolved by the worker
+    pool.  ``latency`` is submit-to-completion wall time in seconds.
+    """
+
+    __slots__ = ("_error", "_event", "_result", "completed_at", "id", "k", "squeeze", "submitted_at")
+
+    def __init__(self, rid: int, k: int, squeeze: bool) -> None:
+        self.id = rid
+        self.k = k
+        self.squeeze = squeeze
+        self.submitted_at = time.perf_counter()
+        self.completed_at: float | None = None
+        self._event = threading.Event()
+        self._result: np.ndarray | None = None
+        self._error: Exception | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has completed (successfully or not)."""
+        return self._event.is_set()
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-completion seconds, or ``None`` while pending."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def _complete(self, result: np.ndarray | None, error: Exception | None) -> None:
+        self.completed_at = time.perf_counter()
+        self._result = result
+        self._error = error
+        self._event.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "pending"
+        return f"ServeRequest(id={self.id}, k={self.k}, {state})"
+
+
+class _Batch:
+    """One coalesced spmm sweep: the requests in it and the rank parts."""
+
+    __slots__ = ("entries", "error", "parts", "remaining", "seq", "width")
+
+    def __init__(self, seq: int, entries: list, nranks: int, width: int) -> None:
+        self.seq = seq
+        self.entries = entries  # [(ServeRequest, column offset)]
+        self.parts: list[np.ndarray | None] = [None] * nranks
+        self.remaining = nranks
+        self.error: Exception | None = None
+        self.width = width
+
+
+class SolverService:
+    """A persistent solver pool over one :class:`BuiltModel`.
+
+    Threads: one dispatcher (coalesces pending requests into batches)
+    plus one worker per rank (runs the model's sweep program on its
+    engine).  All are daemons parked on condition variables when idle.
+    """
+
+    def __init__(
+        self,
+        model: "BuiltModel",
+        *,
+        max_batch: int = 16,
+        recv_timeout: float | None = None,
+        recorder=None,
+        name: str = "solver",
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.model = model
+        self.max_batch = max_batch
+        self.name = name
+        self.world = open_world(model.nranks, recv_timeout=recv_timeout, recorder=recorder)
+        self._lock = threading.Condition()
+        self._pending: deque[tuple[ServeRequest, np.ndarray]] = deque()
+        self._inboxes: list[deque] = [deque() for _ in range(model.nranks)]
+        self._state = "running"  # running -> closing -> closed | failed
+        self._cancel_on_close = False
+        self._fail_reason: str | None = None
+        self._hold = 0
+        self._next_id = 0
+        self._seq = 0
+        self._batch_widths: list[int] = []
+        self._requests_served = 0
+        self._columns_served = 0
+        self._fault = set()
+        self._workers = [
+            threading.Thread(
+                target=self._worker, args=(r,), name=f"{name}-rank{r}", daemon=True
+            )
+            for r in range(model.nranks)
+        ]
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name=f"{name}-dispatch", daemon=True
+        )
+        for w in self._workers:
+            w.start()
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(self, x: np.ndarray) -> ServeRequest:
+        """Enqueue ``y = A @ x`` and return its ticket immediately.
+
+        *x* may be 1-D (one RHS) or 2-D ``(nrows, k)`` (a block of *k*
+        right-hand sides; the result keeps the shape).  The data is
+        copied, so the caller may reuse its buffer.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            data = x.reshape(-1, 1).copy()
+        elif x.ndim == 2:
+            data = np.ascontiguousarray(x)
+            if data is x:
+                data = data.copy()
+        else:
+            raise ValueError(f"x must be 1-D or 2-D, got ndim={x.ndim}")
+        if data.shape[0] != self.model.matrix.nrows:
+            raise ValueError(
+                f"x has {data.shape[0]} rows, model expects {self.model.matrix.nrows}"
+            )
+        with self._lock:
+            if self._state != "running":
+                raise ServiceClosedError(self._closed_message("submit"))
+            req = ServeRequest(self._next_id, data.shape[1], squeeze)
+            self._next_id += 1
+            self._pending.append((req, data))
+            self._lock.notify_all()
+        return req
+
+    def poll(self, request: ServeRequest) -> bool:
+        """Whether *request* has completed (never blocks)."""
+        return request.done
+
+    def gather(self, request: ServeRequest, timeout: float | None = None) -> np.ndarray:
+        """Block until *request* completes and return its result.
+
+        Raises the request's failure (a :class:`ServiceError`) if the
+        service could not serve it, or :class:`TimeoutError` if
+        *timeout* seconds pass first.
+        """
+        if not request._event.wait(timeout):
+            raise TimeoutError(
+                f"request {request.id} not served within {timeout} s "
+                f"(service {self.name!r} is {self._state})"
+            )
+        if request._error is not None:
+            raise request._error
+        return request._result
+
+    def solve(self, x: np.ndarray, timeout: float | None = None) -> np.ndarray:
+        """Synchronous ``submit`` + ``gather``."""
+        return self.gather(self.submit(x), timeout=timeout)
+
+    @contextlib.contextmanager
+    def hold(self):
+        """Pause dispatch while the block runs (requests still queue).
+
+        Lets callers — the request-stream driver and the coalescing
+        tests — stage several submissions and have them provably land
+        in coalesced batches instead of racing the dispatcher.
+        """
+        with self._lock:
+            self._hold += 1
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._hold -= 1
+                self._lock.notify_all()
+
+    @property
+    def state(self) -> str:
+        """``running``, ``closing``, ``closed`` or ``failed``."""
+        return self._state
+
+    @property
+    def stats(self) -> dict:
+        """Service counters: requests, columns, batches, batch widths."""
+        with self._lock:
+            widths = tuple(self._batch_widths)
+        return {
+            "state": self._state,
+            "requests": self._requests_served,
+            "columns": self._columns_served,
+            "batches": len(widths),
+            "batch_widths": widths,
+            "max_batch_width": max(widths, default=0),
+            "mean_batch_width": (sum(widths) / len(widths)) if widths else 0.0,
+        }
+
+    def inject_fault(self, rank: int) -> None:
+        """Chaos hook: make *rank*'s worker fail its next batch.
+
+        Exists for the lifecycle tests (kill a worker mid-request and
+        assert the service fails fast with provenance, not a timeout).
+        """
+        with self._lock:
+            self._fault.add(rank)
+
+    def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Shut the pool down.
+
+        ``drain=True`` serves everything already submitted first;
+        ``drain=False`` cancels queued requests with a descriptive
+        :class:`ServiceClosedError` (an in-flight batch still completes).
+        If the dispatcher cannot finish within *timeout* seconds the
+        world is aborted so blocked workers fail fast instead of
+        hanging.  Idempotent.
+        """
+        with self._lock:
+            if self._state == "running":
+                self._cancel_on_close = not drain
+                self._state = "closing"
+            self._lock.notify_all()
+        self._dispatcher.join(timeout)
+        if self._dispatcher.is_alive():
+            self.world.abort(
+                f"service {self.name!r}: close() timed out after {timeout} s "
+                f"with a request in flight"
+            )
+            self._dispatcher.join(5.0)
+        for w in self._workers:
+            w.join(5.0)
+        stuck = [t.name for t in [self._dispatcher, *self._workers] if t.is_alive()]
+        if stuck:
+            raise ServiceError(f"service {self.name!r}: threads failed to stop: {stuck}")
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(drain=exc == (None, None, None))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _closed_message(self, verb: str) -> str:
+        msg = f"cannot {verb}: service {self.name!r} is {self._state}"
+        if self._fail_reason:
+            msg += f" ({self._fail_reason})"
+        return msg
+
+    def _cancel_pending_locked(self) -> None:
+        while self._pending:
+            req, _data = self._pending.popleft()
+            req._complete(
+                None,
+                ServiceClosedError(
+                    f"service {self.name!r} {self._state} before request "
+                    f"{req.id} ({req.k} column(s)) was served"
+                ),
+            )
+
+    def _dispatch_loop(self) -> None:
+        partition = self.model.plan.partition
+        nranks = self.model.nranks
+        try:
+            while True:
+                with self._lock:
+                    while self._state == "running" and (not self._pending or self._hold):
+                        self._lock.wait()
+                    if self._state == "failed":
+                        return
+                    if self._state == "closing" and (self._cancel_on_close or not self._pending):
+                        return
+                    if self._hold and self._state == "running":
+                        continue
+                    # take whole requests until the next would overflow
+                    # max_batch columns (always take at least one)
+                    entries: list[tuple[ServeRequest, int]] = []
+                    blocks: list[np.ndarray] = []
+                    width = 0
+                    while self._pending:
+                        req, data = self._pending[0]
+                        if entries and width + req.k > self.max_batch:
+                            break
+                        self._pending.popleft()
+                        entries.append((req, width))
+                        blocks.append(data)
+                        width += req.k
+                    batch = _Batch(self._seq, entries, nranks, width)
+                    self._seq += 1
+                    X = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=1)
+                    for r in range(nranks):
+                        lo, hi = partition.bounds(r)
+                        self._inboxes[r].append((batch, X[lo:hi]))
+                    self._lock.notify_all()
+                    # at most one batch in flight: wait for it, so
+                    # requests arriving meanwhile coalesce into the next
+                    while batch.remaining > 0:
+                        self._lock.wait()
+                    self._finish_batch_locked(batch)
+        finally:
+            with self._lock:
+                if self._state != "failed":
+                    self._state = "closed"
+                self._cancel_pending_locked()
+                self._lock.notify_all()
+
+    def _finish_batch_locked(self, batch: _Batch) -> None:
+        if batch.error is not None:
+            for req, _off in batch.entries:
+                req._complete(None, batch.error)
+            return
+        Y = np.concatenate(batch.parts, axis=0)
+        for req, off in batch.entries:
+            block = Y[:, off : off + req.k]
+            result = np.ascontiguousarray(block[:, 0] if req.squeeze else block)
+            req._complete(result, None)
+        self._batch_widths.append(batch.width)
+        self._requests_served += len(batch.entries)
+        self._columns_served += batch.width
+
+    def _worker(self, rank: int) -> None:
+        comm = self.world.comms[rank]
+        try:
+            engine = self.model.engine(comm)
+        except Exception as exc:  # fail loudly, never die silently
+            self._worker_failed(None, rank, exc)
+            return
+        scheme = self.model.scheme
+        inbox = self._inboxes[rank]
+        while True:
+            with self._lock:
+                while not inbox and self._state not in ("closed", "failed"):
+                    self._lock.wait()
+                if not inbox:
+                    return
+                batch, X_local = inbox.popleft()
+                fault = rank in self._fault
+            try:
+                if fault:
+                    raise RuntimeError(f"injected worker fault on rank {rank}")
+                Y_local = engine.multiply_block(X_local, scheme)
+            except Exception as exc:  # fail the batch, never swallow
+                self._worker_failed(batch, rank, exc)
+                continue
+            with self._lock:
+                batch.parts[rank] = Y_local
+                batch.remaining -= 1
+                if batch.remaining == 0:
+                    self._lock.notify_all()
+
+    def _worker_failed(self, batch: _Batch | None, rank: int, exc: Exception) -> None:
+        with self._lock:
+            first = self._state != "failed"
+            self._state = "failed"
+            if first:
+                self._fail_reason = f"rank {rank}: {exc!r}"
+            if batch is not None:
+                if batch.error is None:
+                    batch.error = ServiceError(
+                        f"service {self.name!r}: rank {rank} failed serving batch "
+                        f"{batch.seq} ({batch.width} column(s), scheme "
+                        f"{self.model.scheme!r}): {exc!r}"
+                    )
+                    batch.error.__cause__ = exc
+                batch.remaining = 0
+            self._lock.notify_all()
+        if first:
+            # wake every peer blocked in the halo exchange *now* — with
+            # rank/peer/tag provenance — instead of letting them ripen
+            # into a 60 s collective timeout
+            self.world.abort(f"service {self.name!r}: rank {rank} failed mid-request: {exc!r}")

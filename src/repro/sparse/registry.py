@@ -91,8 +91,13 @@ class KernelSpec:
 
 _REGISTRY: dict[str, KernelSpec] = {}
 _DEFAULT_VARIANT: dict[str, str] = {}
-#: Per-kernel memo of built operators, weak so matrices can be collected.
-_OPERATOR_CACHE: dict[str, "weakref.WeakKeyDictionary[CSRMatrix, object]"] = {}
+#: Per-kernel memo of built operators as ``{matrix: (fingerprint, op)}``,
+#: weak so matrices can be collected.  The fingerprint covers structure
+#: *and* values: converted operators (e.g. SELL) copy both, so an
+#: in-place update of either must invalidate the cached conversion.
+_OPERATOR_CACHE: dict[
+    str, "weakref.WeakKeyDictionary[CSRMatrix, tuple[tuple, object]]"
+] = {}
 
 
 def register_kernel(spec: KernelSpec, *, format_default: bool = False) -> KernelSpec:
@@ -165,17 +170,22 @@ def available_kernels() -> list[str]:
 def build_operator(spec: str | KernelSpec, A: CSRMatrix) -> object:
     """Convert *A* into *spec*'s operator format, memoised per matrix.
 
-    The same (kernel, matrix) pair always returns the same operator
-    object, so format conversion is paid once per matrix no matter how
-    many engines or benchmarks share it.  Entries are weak: collecting
-    the CSR matrix collects the converted operator.
+    The same (kernel, matrix) pair returns the same operator object, so
+    format conversion is paid once per matrix no matter how many engines
+    or benchmarks share it.  Entries are weak (collecting the CSR matrix
+    collects the converted operator) and guarded by the matrix's
+    :meth:`~repro.sparse.csr.CSRMatrix.content_fingerprint`: mutating
+    the matrix in place — structure *or* values — rebuilds the operator
+    instead of serving a stale converted copy.
     """
     spec = get_kernel(spec)
     cache = _OPERATOR_CACHE.setdefault(spec.key, weakref.WeakKeyDictionary())
-    op = cache.get(A)
-    if op is None:
-        op = spec.build(A)
-        cache[A] = op
+    fingerprint = A.content_fingerprint()
+    hit = cache.get(A)
+    if hit is not None and hit[0] == fingerprint:
+        return hit[1]
+    op = spec.build(A)
+    cache[A] = (fingerprint, op)
     return op
 
 

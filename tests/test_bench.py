@@ -21,6 +21,7 @@ EXPECTED_NAMES = {
     "distributed-spmv", "distributed-spmv-nodeaware",
     "distributed-spmm-k1", "distributed-spmm-k4", "distributed-spmm-k16",
     "program-overhead",
+    "serve-cold", "serve-warm", "serve-coalesced",
 }
 
 
@@ -76,7 +77,7 @@ def tiny_suite():
 
 def test_suite_covers_all_paths(tiny_suite):
     assert {r.name for r in tiny_suite} == EXPECTED_NAMES
-    assert {r.group for r in tiny_suite} == {"kernel", "distributed", "program"}
+    assert {r.group for r in tiny_suite} == {"kernel", "distributed", "program", "serve"}
     for r in tiny_suite:
         assert r.seconds.min > 0
         assert r.derived["gflops"] > 0
@@ -160,6 +161,55 @@ def test_program_overhead_guard(tiny_suite):
     assert r.derived["guard_max"] == 0.05
     assert 0.0 <= r.derived["overhead_vs_hot_path"] < r.derived["guard_max"]
     assert r.derived["indirection_seconds"] < r.derived["hot_path_seconds"]
+
+
+def test_serve_group_reports_warm_cold_and_coalesced(tiny_suite):
+    from repro.bench.suite import SERVE_WARM_SPEEDUP_MIN, serve_guard
+
+    by_name = {r.name: r for r in tiny_suite}
+    warm = by_name["serve-warm"]
+    # the ratio itself is only *enforced* at guard size (see below); at
+    # 300 rows just require the persistent service to actually win
+    assert warm.seconds.min < by_name["serve-cold"].seconds.min
+    assert warm.derived["guard_min"] == SERVE_WARM_SPEEDUP_MIN
+    coal = by_name["serve-coalesced"]
+    assert coal.derived["bit_identical"] == 1.0  # asserted before timing
+    assert coal.derived["throughput_rps"] > 0.0
+    assert 1.0 <= coal.derived["mean_batch_width"] <= coal.params["max_batch"]
+    # 300 rows is below SERVE_GUARD_MIN_ROWS: reported, not enforced —
+    # the same no-flake policy as kernel_guard
+    assert serve_guard(tiny_suite) == []
+
+
+def _serve_result(name, nrows, derived):
+    return BenchResult(
+        name=name, group="serve", warmup=1, repeat=3,
+        seconds=TimingStats(samples=(1.0,)),
+        params={"nrows": nrows, "nnz": 10 * nrows, "nranks": 2, "scheme": "task_mode"},
+        derived=derived,
+    )
+
+
+def test_serve_guard_enforces_at_guard_size():
+    from repro.bench.suite import SERVE_GUARD_MIN_ROWS, serve_guard
+
+    ok = [
+        _serve_result("serve-warm", 4000,
+                      {"warm_speedup_vs_cold": 8.0, "guard_min": 5.0}),
+        _serve_result("serve-coalesced", 4000,
+                      {"throughput_rps": 100.0, "bit_identical": 1.0}),
+    ]
+    assert serve_guard(ok) == ["serve-warm", "serve-coalesced"]
+    with pytest.raises(AssertionError, match="rebuilding state"):
+        serve_guard([_serve_result("serve-warm", 4000,
+                                   {"warm_speedup_vs_cold": 1.5, "guard_min": 5.0})])
+    with pytest.raises(AssertionError, match="bit-identity"):
+        serve_guard([_serve_result("serve-coalesced", 4000,
+                                   {"throughput_rps": 10.0})])
+    # sub-guard sizes are never enforced
+    tiny = _serve_result("serve-warm", SERVE_GUARD_MIN_ROWS - 1,
+                         {"warm_speedup_vs_cold": 0.5, "guard_min": 5.0})
+    assert serve_guard([tiny]) == []
 
 
 def test_write_results_schema(tiny_suite, tmp_path):

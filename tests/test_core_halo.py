@@ -151,7 +151,70 @@ def test_cached_plan_refresh_keeps_live_neighbours(monkeypatch):
     # case the weakref guards against), forcing a rebuild-and-refresh.
     key = (id(A), 2, "nnz", False)
     assert key in halo_mod._PLAN_CACHE
-    halo_mod._PLAN_CACHE[key] = (weakref.ref(B), pa)
+    halo_mod._PLAN_CACHE[key] = (weakref.ref(B), A.structure_fingerprint(), pa)
     halo_mod.cached_halo_plan(A, 2, with_matrices=False)
     # refreshing an existing key at capacity must not evict B's live plan
     assert halo_mod.cached_halo_plan(B, 2, with_matrices=False) is pb
+
+
+class TestStaleCacheGuard:
+    """The in-place-mutation bug the serve work flushed out: the plan
+    cache used to key on matrix identity alone, so mutating the arrays
+    of a cached matrix kept serving the *old* halo plan — wrong halos,
+    wrong sub-matrices, silently wrong results."""
+
+    def test_unchanged_matrix_still_hits(self):
+        from repro.core.halo import cached_halo_plan
+
+        A = random_sparse(80, nnzr=5, seed=31)
+        plan = cached_halo_plan(A, 2)
+        assert cached_halo_plan(A, 2) is plan  # identity + fingerprint match
+
+    def test_in_place_mutation_rebuilds_plan(self):
+        from repro.core.halo import cached_halo_plan
+
+        A = random_sparse(80, nnzr=5, seed=31)
+        B = random_sparse(80, nnzr=7, seed=32)
+        stale = cached_halo_plan(A, 2)
+        # mutate A's structure in place: same object, new sparsity
+        A.row_ptr, A.col_idx, A.val = B.row_ptr, B.col_idx, B.val
+        fresh = cached_halo_plan(A, 2)
+        assert fresh is not stale  # pre-fix: identity hit returned `stale`
+        assert fresh.nnz == B.nnz
+        np.testing.assert_array_equal(
+            fresh.ranks[0].A_local.col_idx,
+            build_halo_plan(B, partition_matrix(B, 2)).ranks[0].A_local.col_idx,
+        )
+
+    def test_mutated_matrix_multiplies_correctly(self):
+        # the end-to-end symptom: distributed results disagreed with the
+        # serial kernel after an in-place structure change
+        from repro.core.spmvm import distributed_spmv
+        from repro.sparse import spmv
+
+        A = random_sparse(120, nnzr=5, seed=33)
+        x = np.arange(120, dtype=float)
+        distributed_spmv(A, x, 3)  # populate the cache
+        B = random_sparse(120, nnzr=8, seed=34)
+        A.row_ptr, A.col_idx, A.val = B.row_ptr, B.col_idx, B.val
+        # split local/remote summation order differs from serial by ulps;
+        # the pre-fix bug produced *structurally* wrong results here
+        np.testing.assert_allclose(distributed_spmv(A, x, 3), spmv(A, x), rtol=1e-12)
+
+    def test_value_only_mutation_rebuilds_operator(self):
+        # same staleness class one layer down: the kernel-operator cache
+        # copies values at build time (e.g. SELL), so changing A.val in
+        # place must invalidate it — structure fingerprints don't see it
+        from repro.sparse import spmv
+        from repro.sparse.registry import build_operator, get_kernel
+
+        spec = get_kernel("sell")
+        A = random_sparse(64, nnzr=4, seed=35)
+        x = np.ones(64)
+        op = build_operator(spec, A)
+        y_before = spec.spmv(op, x)
+        A.val = A.val * 2.0
+        op2 = build_operator(spec, A)
+        assert op2 is not op  # pre-fix: cached operator with old values
+        np.testing.assert_allclose(spec.spmv(op2, x), spmv(A, x), rtol=1e-13)
+        np.testing.assert_allclose(spec.spmv(op2, x), 2.0 * y_before, rtol=1e-13)
