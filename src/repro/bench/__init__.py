@@ -18,6 +18,7 @@ from repro.bench.suite import (
     kernel_guard,
     serve_guard,
     spmvm_suite,
+    workload_guard,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "kernel_guard",
     "serve_guard",
     "spmvm_suite",
+    "workload_guard",
 ]

@@ -22,7 +22,12 @@ Three groups mirror the layers of the implementation:
   warm path is at least :data:`SERVE_WARM_SPEEDUP_MIN` times faster),
   plus coalesced-batch throughput with every response checked
   bit-for-bit against the same service's independent per-request
-  answers.
+  answers;
+* ``workload`` (full mode only) — the cluster-scale reference studies
+  (:mod:`repro.experiments.workload`): FCFS vs EASY utilisation on the
+  fat tree, random vs node-aware placement on the loaded torus, and the
+  solo-vs-co-running link-contention probe, each enforced by
+  :func:`workload_guard`.
 
 Every result carries a ``gflops`` derived figure (2 flops per nonzero
 per right-hand side, from the minimum sample), and every block result a
@@ -60,6 +65,7 @@ __all__ = [
     "SERVE_WARM_SPEEDUP_MIN",
     "kernel_guard",
     "serve_guard",
+    "workload_guard",
     "spmvm_suite",
 ]
 
@@ -565,6 +571,150 @@ def _serve_benches(
     return results
 
 
+def _workload_benches() -> list[BenchResult]:
+    """The workload group: reference-trace policy studies + contention.
+
+    Unlike the other groups these time a *simulation*, so the wall
+    seconds are informational (one sample per study); the quantities
+    under guard are simulated outcomes and fully deterministic.  Three
+    results: the scheduler comparison on the fat tree (where runtimes
+    are policy-independent, so utilisation differences are pure
+    packing), the placement comparison on the loaded torus, and the
+    solo-vs-co-running link-contention probe — the same reference
+    configurations as ``repro workload --smoke``
+    (:mod:`repro.experiments.workload`).
+    """
+    from repro.experiments.workload import (
+        placement_cluster,
+        run_contention_probe,
+        scheduling_cluster,
+    )
+    from repro.workload import compare_policies, reference_trace
+
+    trace = reference_trace()
+    base = {"jobs": len(trace), "nodes": 16, "trace": "reference"}
+
+    t0 = time.perf_counter()
+    sched = compare_policies(
+        trace, scheduling_cluster, schedulers=("fcfs", "easy"), placements=("first-fit",)
+    )
+    t_sched = time.perf_counter() - t0
+    fcfs = sched[("fcfs", "first-fit")]
+    easy = sched[("easy", "first-fit")]
+    results = [
+        BenchResult(
+            name="workload-scheduling", group="workload",
+            warmup=0, repeat=1, seconds=TimingStats((t_sched,)),
+            params={**base, "cluster": "westmere-fat-tree"},
+            derived={
+                "util_fcfs": fcfs.utilisation(),
+                "util_easy": easy.utilisation(),
+                "makespan_fcfs": fcfs.makespan,
+                "makespan_easy": easy.makespan,
+                "mean_bsld_fcfs": fcfs.summary()["mean_slowdown"],
+                "mean_bsld_easy": easy.summary()["mean_slowdown"],
+            },
+        )
+    ]
+
+    t0 = time.perf_counter()
+    placed = compare_policies(
+        trace, placement_cluster,
+        schedulers=("easy",), placements=("random", "node-aware"), seed=11,
+    )
+    t_place = time.perf_counter() - t0
+    rand = placed[("easy", "random")]
+    aware = placed[("easy", "node-aware")]
+    results.append(
+        BenchResult(
+            name="workload-placement", group="workload",
+            warmup=0, repeat=1, seconds=TimingStats((t_place,)),
+            params={**base, "cluster": "cray-torus-loaded"},
+            derived={
+                "p99_random": rand.summary()["p99"],
+                "p99_node_aware": aware.summary()["p99"],
+                "wire_bytes_random": rand.interconnect_bytes(),
+                "wire_bytes_node_aware": aware.interconnect_bytes(),
+                "hop_sum_random": rand.summary()["hop_sum"],
+                "hop_sum_node_aware": aware.summary()["hop_sum"],
+            },
+        )
+    )
+
+    t0 = time.perf_counter()
+    alone, shared = run_contention_probe()
+    t_cont = time.perf_counter() - t0
+    results.append(
+        BenchResult(
+            name="workload-contention", group="workload",
+            warmup=0, repeat=1, seconds=TimingStats((t_cont,)),
+            params={"jobs": 2, "nodes": 4, "cluster": "cray-torus-loaded"},
+            derived={
+                "bw_alone": alone.effective_bandwidth,
+                "bw_shared_min": min(r.effective_bandwidth for r in shared),
+                "bw_shared_max": max(r.effective_bandwidth for r in shared),
+            },
+        )
+    )
+    return results
+
+
+def workload_guard(results: list[BenchResult]) -> list[str]:
+    """Assert the workload subsystem's reference-trace properties.
+
+    EASY backfilling must achieve strictly higher utilisation than FCFS
+    on the fat tree (where runtimes are policy-independent); node-aware
+    placement must never move more hop-weighted interconnect bytes than
+    random and must beat it on p99 response latency on the loaded
+    torus; and a job co-running with a communication-heavy twin must
+    observe strictly lower effective bandwidth than the same job alone.
+    Returns the names enforced; raises :class:`AssertionError` on
+    violation.  No-op when the workload group was skipped (quick mode).
+    """
+    enforced = []
+    for r in results:
+        if r.group != "workload":
+            continue
+        if r.name == "workload-scheduling":
+            u_f, u_e = r.derived["util_fcfs"], r.derived["util_easy"]
+            if u_e <= u_f:
+                raise AssertionError(
+                    f"workload-scheduling: EASY utilisation {u_e:.4f} does not "
+                    f"beat FCFS {u_f:.4f} on the reference trace; backfilling "
+                    f"stopped filling the head-of-line blocking window"
+                )
+            enforced.append(r.name)
+        elif r.name == "workload-placement":
+            b_r = r.derived["wire_bytes_random"]
+            b_a = r.derived["wire_bytes_node_aware"]
+            if b_a > b_r:
+                raise AssertionError(
+                    f"workload-placement: node-aware moved {b_a:.3e} B over the "
+                    f"wire vs random's {b_r:.3e} B; compact allocations must "
+                    f"never increase hop-weighted inter-node traffic"
+                )
+            p_r = r.derived["p99_random"]
+            p_a = r.derived["p99_node_aware"]
+            if p_a >= p_r:
+                raise AssertionError(
+                    f"workload-placement: node-aware p99 latency {p_a:.3e} s is "
+                    f"not below random's {p_r:.3e} s on the loaded torus; the "
+                    f"topology knowledge stopped paying for itself"
+                )
+            enforced.append(r.name)
+        elif r.name == "workload-contention":
+            solo = r.derived["bw_alone"]
+            worst = r.derived["bw_shared_max"]
+            if worst >= solo:
+                raise AssertionError(
+                    f"workload-contention: a co-running job saw "
+                    f"{worst:.3e} B/s, not below the solo {solo:.3e} B/s; "
+                    f"jobs are no longer sharing the torus link pool"
+                )
+            enforced.append(r.name)
+    return enforced
+
+
 def serve_guard(results: list[BenchResult]) -> list[str]:
     """Assert the build-once/serve-many contract holds.
 
@@ -610,13 +760,17 @@ def spmvm_suite(
     nranks: int | None = None,
     scheme: str = "task_mode",
     seed: int = 7,
+    workload: bool | None = None,
 ) -> list[BenchResult]:
     """Run the full spMVM benchmark suite and return its results.
 
     ``quick`` shrinks the matrix and the sample counts for CI smoke
     runs; the schema and the result names are identical in both modes.
     ``nrows``/``nranks`` override the mode defaults (used by the tests
-    to keep runtimes trivial).
+    to keep runtimes trivial).  ``workload`` adds the reference-trace
+    workload studies (~30 s of simulation, policy-guarded); it defaults
+    to ``not quick`` — quick/CI runs get the same assertions from the
+    dedicated ``repro workload --smoke`` gate instead.
     """
     if nrows is None:
         nrows = 4_000 if quick else 40_000
@@ -633,6 +787,11 @@ def spmvm_suite(
     results += _serve_benches(
         A, rng, nranks=nranks, scheme=scheme, warmup=warmup, repeat=repeat
     )
+    if workload is None:
+        workload = not quick
+    if workload:
+        results += _workload_benches()
     kernel_guard(results)
     serve_guard(results)
+    workload_guard(results)
     return results

@@ -25,6 +25,7 @@ from repro.experiments.kappa_prediction import KappaPredictionResult, run_kappa_
 from repro.experiments.load_balance import BalanceRow, LoadBalanceResult, run_load_balance
 from repro.experiments.progress_probe import ProbeResult, run_progress_probe
 from repro.experiments.scaling import ScalingPoint, ScalingStudy, run_scaling_study
+from repro.experiments.workload import WorkloadStudy, run_workload_study
 
 __all__ = [
     "KAPPA",
@@ -62,4 +63,6 @@ __all__ = [
     "ScalingPoint",
     "ScalingStudy",
     "run_scaling_study",
+    "WorkloadStudy",
+    "run_workload_study",
 ]

@@ -1,0 +1,132 @@
+"""Workload reporting: text reports, policy comparisons, trace export.
+
+Everything here is presentational — the numbers come from
+:class:`repro.workload.engine.WorkloadResult` (which in turn reuses
+:mod:`repro.obs`: `latency_summary` for the response-time percentiles,
+`ResourceStats` for the wire counters, and the shared `TraceRecorder`
+whose per-job actor prefixes make the Chrome export directly loadable
+with one row group per job).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.machine.topology import ClusterSpec
+from repro.obs.chrome import write_chrome_trace
+from repro.util.tables import Table
+from repro.workload.engine import WorkloadResult, run_workload
+from repro.workload.streams import Job
+
+__all__ = ["render_report", "compare_policies", "policy_table", "export_job_trace"]
+
+_MS = 1e3
+
+
+def render_report(result: WorkloadResult) -> str:
+    """Human-readable capacity report of one workload run."""
+    s = result.summary()
+    n = len(result.records)
+    mix: dict[str, int] = {}
+    for r in result.records:
+        mix[r.job.solver] = mix.get(r.job.solver, 0) + 1
+    mix_str = ", ".join(f"{k} x{v}" for k, v in sorted(mix.items()))
+    lines = [
+        f"repro workload: {n} jobs ({mix_str}) on {result.n_nodes}-node "
+        f"{result.cluster_name}",
+        f"  scheduler / placement : {result.scheduler} / {result.placement} "
+        f"(scheme {result.scheme})",
+        f"  makespan              : {s['makespan'] * _MS:10.3f} ms "
+        f"({s['throughput_jps']:.1f} jobs/s)",
+        f"  utilisation           : {s['utilisation'] * 100:9.1f} % of node-seconds",
+        f"  response latency      : p50 {s['p50'] * _MS:.3f} ms | "
+        f"p90 {s['p90'] * _MS:.3f} ms | p99 {s['p99'] * _MS:.3f} ms | "
+        f"max {s['max'] * _MS:.3f} ms",
+        f"  mean wait             : {s['mean_wait'] * _MS:10.3f} ms",
+        f"  bounded slowdown      : mean {s['mean_slowdown']:.2f} | "
+        f"max {s['max_slowdown']:.2f}",
+        f"  interconnect traffic  : {s['interconnect_bytes'] / 1e6:10.2f} MB "
+        f"(hop-weighted on a torus)",
+    ]
+    per_node = result.per_node_utilisation()
+    bar = "".join("0123456789"[min(9, int(u * 10))] for u in per_node)
+    lines.append(f"  per-node busy (0-9)   : [{bar}]")
+    return "\n".join(lines)
+
+
+def compare_policies(
+    jobs: Sequence[Job],
+    cluster_factory,
+    *,
+    schedulers: Sequence[str] = ("fcfs", "easy"),
+    placements: Sequence[str] = ("first-fit", "random", "node-aware"),
+    scheme: str = "naive_overlap",
+    seed: int = 0,
+) -> dict[tuple[str, str], WorkloadResult]:
+    """Run *jobs* under every scheduler × placement combination.
+
+    ``cluster_factory`` is a zero-argument callable returning a fresh
+    :class:`ClusterSpec` — each combination gets its own simulator and
+    flow network, so the comparisons are independent replays of the
+    identical stream.
+    """
+    results: dict[tuple[str, str], WorkloadResult] = {}
+    for sched in schedulers:
+        for place in placements:
+            cluster = cluster_factory()
+            if not isinstance(cluster, ClusterSpec):
+                raise TypeError(
+                    f"cluster_factory must return a ClusterSpec, got {type(cluster).__name__}"
+                )
+            results[(sched, place)] = run_workload(
+                jobs, cluster, scheduler=sched, placement=place, scheme=scheme, seed=seed
+            )
+    return results
+
+
+def policy_table(results: dict[tuple[str, str], WorkloadResult]) -> Table:
+    """The scheduler/placement comparison table (EXPERIMENTS.md format)."""
+    table = Table(
+        [
+            "scheduler",
+            "placement",
+            "util %",
+            "makespan ms",
+            "p50 ms",
+            "p99 ms",
+            "mean BSLD",
+            "max BSLD",
+            "wire MB",
+        ],
+        title="workload policy comparison",
+        float_fmt=".2f",
+    )
+    for (sched, place), result in results.items():
+        s = result.summary()
+        table.add_row(
+            [
+                sched,
+                place,
+                s["utilisation"] * 100,
+                s["makespan"] * _MS,
+                s["p50"] * _MS,
+                s["p99"] * _MS,
+                s["mean_slowdown"],
+                s["max_slowdown"],
+                s["interconnect_bytes"] / 1e6,
+            ]
+        )
+    return table
+
+
+def export_job_trace(result: WorkloadResult, path: str | Path) -> Path:
+    """Write the run's Chrome trace (one actor row group per job).
+
+    Requires the run to have been made with ``trace=True``; the per-job
+    ``job{id}/rank{r}`` actor prefixes are already in the recorder, so
+    the standard exporter produces per-job phase labels directly.
+    """
+    if result.trace is None:
+        raise ValueError("workload was run without trace=True; nothing to export")
+    return write_chrome_trace(result.trace, path)

@@ -1,0 +1,182 @@
+"""Queueing and placement policies in isolation (repro.workload.scheduler).
+
+The schedulers are pure state machines (no simulator), so the EASY
+backfilling rules — shadow-time reservation, the extra-nodes exception,
+the monotone reservation that prevents the starvation cascade — are
+testable with hand-built running sets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.presets import cray_xe6_cluster, westmere_cluster
+from repro.workload import (
+    EasyBackfillScheduler,
+    FCFSScheduler,
+    Job,
+    RunningJob,
+    allocation_hop_sum,
+    make_scheduler,
+    place_job,
+)
+
+
+def _job(job_id, n_nodes, walltime=1.0, submit=0.0):
+    return Job(
+        job_id=job_id, name=f"j{job_id}", solver="spmvm", submit=submit,
+        n_nodes=n_nodes, nrows=256, nnzr=6.0, iterations=1, walltime=walltime,
+    )
+
+
+def _running(job, start=0.0, first_node=0):
+    return RunningJob(job, start, tuple(range(first_node, first_node + job.n_nodes)))
+
+
+class TestFCFS:
+    def test_starts_in_arrival_order_while_room(self):
+        s = FCFSScheduler()
+        for j in (_job(0, 2), _job(1, 2), _job(2, 2)):
+            s.enqueue(j)
+        started = s.schedule(0.0, 4, [])
+        assert [j.job_id for j in started] == [0, 1]
+        assert [j.job_id for j in s.pending()] == [2]
+
+    def test_head_blocks_everything_behind_it(self):
+        s = FCFSScheduler()
+        s.enqueue(_job(0, 8))  # does not fit
+        s.enqueue(_job(1, 1))  # would fit, but FCFS never overtakes
+        assert s.schedule(0.0, 4, []) == []
+        assert len(s) == 2
+
+    def test_make_scheduler(self):
+        assert make_scheduler("fcfs").policy == "fcfs"
+        assert make_scheduler("easy").policy == "easy"
+        with pytest.raises(ValueError, match="policy"):
+            make_scheduler("sjf")
+
+
+class TestEasyBackfill:
+    def test_backfills_short_job_past_blocked_head(self):
+        s = EasyBackfillScheduler()
+        blocker = _job(99, 4, walltime=10.0)
+        s.enqueue(_job(0, 4, walltime=5.0))   # head: needs the running job's nodes
+        s.enqueue(_job(1, 2, walltime=1.0))   # short: ends before the shadow (t=10)
+        started = s.schedule(0.0, 2, [_running(blocker)])
+        assert [j.job_id for j in started] == [1]
+        assert [j.job_id for j in s.pending()] == [0]
+
+    def test_refuses_backfill_that_would_delay_head(self):
+        s = EasyBackfillScheduler()
+        blocker = _job(99, 4, walltime=10.0)
+        # head will need all 6 nodes free at the shadow time (extra = 0)
+        s.enqueue(_job(0, 6, walltime=5.0))
+        # ends at t=20 > shadow t=10 and needs nodes the head will use
+        s.enqueue(_job(1, 2, walltime=20.0))
+        assert s.schedule(0.0, 2, [_running(blocker)]) == []
+
+    def test_long_backfill_allowed_on_extra_nodes(self):
+        # head needs 4 of the 6 nodes free at the shadow; a long 2-node
+        # job fits in the extra 2 and can run past the shadow harmlessly
+        s = EasyBackfillScheduler()
+        blocker = _job(99, 4, walltime=10.0)  # nodes 0-3, machine of 10
+        s.enqueue(_job(0, 8, walltime=5.0))
+        s.enqueue(_job(1, 2, walltime=50.0))
+        started = s.schedule(0.0, 6, [_running(blocker)])
+        assert [j.job_id for j in started] == [1]
+
+    def test_reservation_is_monotone_for_same_head(self):
+        # the starvation cascade this guards against: a backfilled job
+        # with a padded estimate must not push the head's shadow later
+        s = EasyBackfillScheduler()
+        blocker = _job(99, 4, walltime=10.0)
+        s.enqueue(_job(0, 4, walltime=5.0))
+        s.schedule(0.0, 2, [_running(blocker)])
+        assert s._reservation is not None
+        head_id, shadow = s._reservation
+        assert head_id == 0
+        assert shadow == pytest.approx(10.0)
+        # a later pass where running estimates look *worse* (a backfill
+        # with walltime 30 started on the free nodes) must keep t=10
+        worse = [_running(blocker), _running(_job(50, 2, walltime=30.0), first_node=4)]
+        s.schedule(1.0, 0, worse)
+        assert s._reservation[1] == pytest.approx(10.0)
+
+    def test_reservation_resets_for_new_head(self):
+        s = EasyBackfillScheduler()
+        s.enqueue(_job(0, 4, walltime=5.0))
+        s.schedule(0.0, 2, [_running(_job(99, 4, walltime=10.0))])
+        s.queue.clear()
+        s.enqueue(_job(1, 4, walltime=5.0))
+        s.schedule(0.0, 2, [_running(_job(98, 4, walltime=7.0))])
+        assert s._reservation[0] == 1
+        assert s._reservation[1] == pytest.approx(7.0)
+
+    def test_empty_queue_clears_reservation(self):
+        s = EasyBackfillScheduler()
+        s.enqueue(_job(0, 2, walltime=1.0))
+        s.schedule(0.0, 4, [])
+        assert s._reservation is None
+
+    def test_unsatisfiable_head_backfills_unbounded(self):
+        # head wider than estimates can ever free: shadow is +inf, any
+        # fitting job may start (nothing to protect)
+        s = EasyBackfillScheduler()
+        s.enqueue(_job(0, 100, walltime=1.0))
+        s.enqueue(_job(1, 2, walltime=1e9))
+        started = s.schedule(0.0, 4, [])
+        assert [j.job_id for j in started] == [1]
+
+
+class TestPlacement:
+    def test_first_fit_takes_lowest_ids(self):
+        net = westmere_cluster(8).network
+        nodes = place_job(_job(0, 3), {5, 1, 7, 2, 0}, net, 8)
+        assert nodes == (0, 1, 2)
+
+    def test_random_needs_rng_and_is_seeded(self):
+        net = westmere_cluster(8).network
+        free = set(range(8))
+        with pytest.raises(ValueError, match="rng"):
+            place_job(_job(0, 2), free, net, 8, policy="random")
+        a = place_job(_job(0, 4), free, net, 8, policy="random",
+                      rng=np.random.default_rng(3))
+        b = place_job(_job(0, 4), free, net, 8, policy="random",
+                      rng=np.random.default_rng(3))
+        assert a == b
+        assert len(set(a)) == 4 and set(a) <= free
+
+    def test_node_aware_picks_compact_torus_allocation(self):
+        cluster = cray_xe6_cluster(16)  # 4x4 torus
+        free = {0, 3, 5, 12, 15}  # 0,3,12,15 are the four torus corners
+        nodes = place_job(_job(0, 2), free, cluster.network, 16, policy="node-aware")
+        # every corner is 1 hop (wraparound) from an adjacent corner but
+        # node 5 is interior; the chosen pair must be adjacent (hop sum 1)
+        assert allocation_hop_sum(nodes, cluster.network, 16) == pytest.approx(1.0)
+
+    def test_node_aware_beats_random_on_hop_sum(self):
+        cluster = cray_xe6_cluster(16)
+        free = set(range(16))
+        aware = place_job(_job(0, 4), free, cluster.network, 16, policy="node-aware")
+        rng = np.random.default_rng(0)
+        rand = place_job(_job(0, 4), free, cluster.network, 16, policy="random", rng=rng)
+        assert allocation_hop_sum(aware, cluster.network, 16) <= allocation_hop_sum(
+            rand, cluster.network, 16
+        )
+
+    def test_node_aware_on_fat_tree_degenerates_to_first_fit(self):
+        net = westmere_cluster(8).network  # no hops(): topology-blind
+        assert place_job(_job(0, 3), set(range(8)), net, 8, policy="node-aware") == (0, 1, 2)
+
+    def test_not_enough_free_nodes_raises(self):
+        net = westmere_cluster(4).network
+        with pytest.raises(ValueError, match="free"):
+            place_job(_job(0, 3), {0, 1}, net, 4)
+
+    def test_unknown_policy_raises(self):
+        net = westmere_cluster(4).network
+        with pytest.raises(ValueError, match="policy"):
+            place_job(_job(0, 1), {0}, net, 4, policy="round-robin")
+
+    def test_hop_sum_on_fat_tree_counts_pairs(self):
+        net = westmere_cluster(8).network
+        assert allocation_hop_sum((0, 1, 2), net, 8) == pytest.approx(3.0)
