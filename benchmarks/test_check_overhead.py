@@ -91,3 +91,60 @@ def test_no_recorder_means_no_observer_on_the_router(problem):
     A, x = problem
     y = distributed_spmv(A, x, NRANKS, scheme="no_overlap")
     assert y.shape == (A.nrows,)
+
+
+def test_thread_sanitizer_overhead_is_bounded(problem):
+    # the thread-level twin of the recorder gate, on the scheme that
+    # actually spawns threads (task mode): a sanitized clean run must
+    # stay within SANITIZER_OVERHEAD_MAX of the uninstrumented sweep
+    from repro.bench.suite import SANITIZER_OVERHEAD_MAX
+    from repro.check import ThreadSanitizer
+
+    A, x = problem
+
+    def plain():
+        return distributed_spmv(A, x, NRANKS, scheme="task_mode")
+
+    def sanitized():
+        san = ThreadSanitizer()  # fresh per run: thread idents recycle
+        y = distributed_spmv(A, x, NRANKS, scheme="task_mode", sanitizer=san)
+        assert san.finalize().ok
+        return y
+
+    plain()
+    sanitized()
+    ratios = []
+    for _ in range(3):
+        base = instrumented = float("inf")
+        for _ in range(REPEATS):
+            base = min(base, _timed(plain))
+            instrumented = min(instrumented, _timed(sanitized))
+        ratios.append(instrumented / base)
+    ratio = min(ratios)
+    print(
+        f"\nsanitizer overhead: plain {base * 1e3:.2f} ms, "
+        f"instrumented {instrumented * 1e3:.2f} ms, "
+        f"ratios {[f'{r:.3f}' for r in ratios]}, best {ratio:.3f}"
+    )
+    # the sanitizer records a handful of events per sweep (op accesses +
+    # spawn/join), not per message, so the 20% budget is generous
+    assert ratio < SANITIZER_OVERHEAD_MAX, (
+        f"sanitizer overhead {ratio:.3f}x exceeds the "
+        f"{SANITIZER_OVERHEAD_MAX:.2f}x budget"
+    )
+
+
+def test_no_sanitizer_means_no_hooks_in_the_interpreter(problem):
+    # zero-cost contract: an engine without a sanitizer leaves the sweep
+    # state's hook fields untouched
+    from repro.core.halo import cached_halo_plan
+    from repro.core.spmvm import DistributedSpMVM
+    from repro.mpilite.comm import CollectiveState, Comm
+    from repro.mpilite.router import Router
+
+    A, x = problem
+    halo = cached_halo_plan(A, 1, with_matrices=True).ranks[0]
+    engine = DistributedSpMVM(Comm(0, Router(1), CollectiveState(1)), halo)
+    assert engine.sanitizer is None
+    y = engine.multiply(x, "task_mode")
+    assert y.shape == (A.nrows,)

@@ -14,8 +14,10 @@ from repro.bench.harness import (
 )
 from repro.bench.suite import (
     BLOCK_WIDTHS,
+    SANITIZER_OVERHEAD_MAX,
     SERVE_WARM_SPEEDUP_MIN,
     kernel_guard,
+    sanitizer_guard,
     serve_guard,
     spmvm_suite,
     workload_guard,
@@ -28,8 +30,10 @@ __all__ = [
     "time_callable",
     "write_results",
     "BLOCK_WIDTHS",
+    "SANITIZER_OVERHEAD_MAX",
     "SERVE_WARM_SPEEDUP_MIN",
     "kernel_guard",
+    "sanitizer_guard",
     "serve_guard",
     "spmvm_suite",
     "workload_guard",

@@ -23,6 +23,12 @@ Three groups mirror the layers of the implementation:
   plus coalesced-batch throughput with every response checked
   bit-for-bit against the same service's independent per-request
   answers;
+* ``check`` — the opt-in observability tax: one task-mode
+  ``distributed_spmv`` with a :class:`~repro.check.ThreadSanitizer`
+  attached vs. the same sweep uninstrumented, interleaved
+  (:func:`sanitizer_guard` asserts the instrumented run stays under
+  :data:`SANITIZER_OVERHEAD_MAX`, and the clean run must report zero
+  races before its timing counts);
 * ``workload`` (full mode only) — the cluster-scale reference studies
   (:mod:`repro.experiments.workload`): FCFS vs EASY utilisation on the
   fat tree, random vs node-aware placement on the loaded torus, and the
@@ -62,8 +68,10 @@ from repro.sparse.csr import CSRMatrix
 __all__ = [
     "BLOCK_WIDTHS",
     "KERNEL_GUARD_MIN_ROWS",
+    "SANITIZER_OVERHEAD_MAX",
     "SERVE_WARM_SPEEDUP_MIN",
     "kernel_guard",
+    "sanitizer_guard",
     "serve_guard",
     "workload_guard",
     "spmvm_suite",
@@ -87,6 +95,18 @@ SERVE_WARM_SPEEDUP_MIN = 5.0
 #: spin-up dominates the cold side and the ratio sits at the bound by
 #: noise alone — the same reasoning as :data:`KERNEL_GUARD_MIN_ROWS`.
 SERVE_GUARD_MIN_ROWS = 2_000
+
+#: Maximum instrumented/uninstrumented wall-time ratio of a task-mode
+#: ``distributed_spmv`` sweep with a thread sanitizer attached
+#: (:func:`sanitizer_guard`).  The sanitizer is the always-affordable
+#: debugging tool; if attaching it costs more than 20% the
+#: instrumentation stopped being something you can leave on in tests.
+#: Enforced only at :data:`SANITIZER_GUARD_MIN_ROWS` and above: on tiny
+#: matrices the sweep is sub-millisecond and thread spin-up jitter can
+#: push even a zero-cost hook past any fixed bound — the same no-flake
+#: policy as :data:`KERNEL_GUARD_MIN_ROWS`/:data:`SERVE_GUARD_MIN_ROWS`.
+SANITIZER_OVERHEAD_MAX = 1.20
+SANITIZER_GUARD_MIN_ROWS = 2_000
 
 
 def _gflops(nnz: int, k: int, seconds: float) -> float:
@@ -571,6 +591,114 @@ def _serve_benches(
     return results
 
 
+def _sanitizer_benches(
+    A: CSRMatrix,
+    rng: np.random.Generator,
+    *,
+    nranks: int,
+    scheme: str,
+    warmup: int,
+    repeat: int,
+) -> list[BenchResult]:
+    """The check group: thread-sanitizer overhead on a task-mode sweep.
+
+    Interleaved like :func:`_paired_speedup` — plain and instrumented
+    sweeps alternate within each round so machine noise moves both
+    sides of the ratio — but taking the *lowest* ratio of up to three
+    trials (a lower-bound estimator for an upper-bound guard, stopping
+    early once comfortably under the bound).  Every instrumented sweep
+    runs a fresh :class:`~repro.check.ThreadSanitizer` (thread idents
+    are recycled across joins), and a single reported race fails the
+    bench outright: a racy sweep's timing is not an overhead figure.
+    """
+    from repro.check.threads import ThreadSanitizer
+
+    x = rng.standard_normal(A.ncols)
+    sanitizers: list[ThreadSanitizer] = []
+
+    def plain() -> None:
+        distributed_spmv(A, x, nranks, scheme=scheme)
+
+    def instrumented() -> None:
+        san = ThreadSanitizer()
+        sanitizers.append(san)
+        distributed_spmv(A, x, nranks, scheme=scheme, sanitizer=san)
+
+    rounds = max(repeat, 5)
+    best = None
+    for _ in range(3):
+        for _ in range(max(warmup, 1)):
+            plain()
+            instrumented()
+        plain_s, instr_s = [], []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            plain()
+            plain_s.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            instrumented()
+            instr_s.append(time.perf_counter() - t0)
+        trial = (
+            min(instr_s) / min(plain_s),
+            TimingStats(tuple(plain_s)),
+            TimingStats(tuple(instr_s)),
+        )
+        if best is None or trial[0] < best[0]:
+            best = trial
+        if best[0] <= 1.05:
+            break
+    races = [f for san in sanitizers for f in san.findings]
+    if races:
+        raise AssertionError(
+            f"sanitizer-overhead: the clean task-mode sweep reported "
+            f"{len(races)} thread-race finding(s) — first: "
+            f"{races[0].describe()}; refusing to report overhead of a racy run"
+        )
+    overhead, plain_stats, instr_stats = best
+    return [
+        BenchResult(
+            name="sanitizer-overhead", group="check",
+            warmup=max(warmup, 1), repeat=rounds, seconds=instr_stats,
+            params={"nrows": A.nrows, "nnz": A.nnz, "nranks": nranks, "scheme": scheme},
+            derived={
+                "gflops": _gflops(A.nnz, 1, instr_stats.min),
+                "plain_seconds": plain_stats.min,
+                "overhead_vs_plain": overhead,
+                "events_observed": float(sum(s.events_observed for s in sanitizers)),
+                "guard_max": SANITIZER_OVERHEAD_MAX,
+            },
+        )
+    ]
+
+
+def sanitizer_guard(results: list[BenchResult]) -> list[str]:
+    """Assert attaching the thread sanitizer stays affordable.
+
+    The ``sanitizer-overhead`` result's instrumented/plain ratio must
+    not exceed :data:`SANITIZER_OVERHEAD_MAX` — the contract that the
+    sanitizer remains cheap enough to leave on in every test and CI
+    check run.  Enforced only at :data:`SANITIZER_GUARD_MIN_ROWS` rows
+    and above (sub-guard sweeps are reported, never gated).  Returns
+    the names enforced; raises :class:`AssertionError` on violation.
+    """
+    enforced = []
+    for r in results:
+        if r.group != "check" or r.name != "sanitizer-overhead":
+            continue
+        if r.params.get("nrows", 0) < SANITIZER_GUARD_MIN_ROWS:
+            continue
+        overhead = r.derived["overhead_vs_plain"]
+        if overhead > SANITIZER_OVERHEAD_MAX:
+            raise AssertionError(
+                f"sanitizer-overhead: instrumented task-mode sweep costs "
+                f"{overhead:.3f}x the plain sweep (guard: <= "
+                f"{SANITIZER_OVERHEAD_MAX}); the per-event bookkeeping grew "
+                f"beyond what an always-on sanitizer may charge"
+            )
+        enforced.append(r.name)
+    return enforced
+
+
 def _workload_benches() -> list[BenchResult]:
     """The workload group: reference-trace policy studies + contention.
 
@@ -787,11 +915,15 @@ def spmvm_suite(
     results += _serve_benches(
         A, rng, nranks=nranks, scheme=scheme, warmup=warmup, repeat=repeat
     )
+    results += _sanitizer_benches(
+        A, rng, nranks=nranks, scheme=scheme, warmup=warmup, repeat=repeat
+    )
     if workload is None:
         workload = not quick
     if workload:
         results += _workload_benches()
     kernel_guard(results)
     serve_guard(results)
+    sanitizer_guard(results)
     workload_guard(results)
     return results

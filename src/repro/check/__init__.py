@@ -14,10 +14,25 @@ Two prongs (see DESIGN.md):
   region balance, barrier placement — verified once on the program,
   instead of per hand-rolled scheme implementation.
 
+PR 9 adds the *thread* level on both prongs: :class:`ThreadSanitizer`
+(:mod:`repro.check.threads`) orders the threads inside one rank with
+per-thread vector clocks and reports causally concurrent conflicting
+buffer accesses (``repro check --threads`` / :func:`check_threads`),
+and :func:`run_astlint` (:mod:`repro.check.astlint`) enforces repo
+invariants — hot-path allocation, float64 discipline, service lock
+discipline, comm-thread vocabulary — as AST rules (``repro lint``).
+
 ``repro check`` is the CLI entry; :data:`SEED_BUGS` are the seeded-bug
 fixtures demonstrating every detector firing.
 """
 
+from repro.check.astlint import (
+    ALL_RULES,
+    lint_fixture,
+    lint_source,
+    run_astlint,
+    selftest,
+)
 from repro.check.driver import check_spmvm, run_checked, sim_teardown_findings
 from repro.check.findings import (
     FINDING_KINDS,
@@ -30,6 +45,12 @@ from repro.check.fixtures import SEED_BUGS, run_seed_bug
 from repro.check.lint import lint_comm_plan
 from repro.check.races import analyze_races
 from repro.check.recorder import CommRecorder, DeadlockError
+from repro.check.threads import (
+    ThreadRaceError,
+    ThreadSanitizer,
+    TrackedCondition,
+    check_threads,
+)
 from repro.program.lint import lint_sweep_program, lint_sweep_programs
 
 __all__ = [
@@ -49,4 +70,13 @@ __all__ = [
     "sim_teardown_findings",
     "SEED_BUGS",
     "run_seed_bug",
+    "ThreadSanitizer",
+    "ThreadRaceError",
+    "TrackedCondition",
+    "check_threads",
+    "ALL_RULES",
+    "run_astlint",
+    "lint_source",
+    "lint_fixture",
+    "selftest",
 ]

@@ -26,6 +26,8 @@ FINDING_KINDS = (
     "unconsumed-message",
     "plan-lint",
     "program-lint",
+    "thread-race",
+    "ast-lint",
 )
 
 

@@ -14,6 +14,7 @@ seeded run.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Callable
 
 import numpy as np
@@ -137,6 +138,107 @@ def _plan_lint() -> CheckReport:
     return report
 
 
+def _run_seeded_program(ops: tuple, context: str) -> CheckReport:
+    """Run one hand-built (lint-bypassing) task-mode program under sanitizers."""
+    from repro.check.threads import ThreadSanitizer
+    from repro.core.halo import cached_halo_plan
+    from repro.core.spmvm import DistributedSpMVM, scatter_vector
+    from repro.matrices import get_matrix
+    from repro.mpilite.world import PerRank, run_spmd
+    from repro.program.exec import execute_sweep
+    from repro.program.ir import SweepProgram
+
+    A = get_matrix("HMeP", "tiny").build_cached()
+    nranks = 2
+    plan = cached_halo_plan(A, nranks, with_matrices=True)
+    program = SweepProgram(scheme="task_mode", ops=ops)
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal(A.nrows)
+    san = ThreadSanitizer()
+
+    def fn(comm, halo) -> np.ndarray:
+        engine = DistributedSpMVM(comm, halo, sanitizer=san)
+        return execute_sweep(engine, program, scatter_vector(x, plan.partition, comm.rank))
+
+    run_spmd(nranks, fn, PerRank(plan.ranks), recv_timeout=10.0, timeout=30.0)
+    return san.finalize(context=context)
+
+
+def _thread_race_missing_barrier() -> CheckReport:
+    """Task mode whose joining OMP_BARRIER was dropped: REMOTE_SPMVM reads
+    ``halo_out`` causally concurrent with the comm thread's WAITALL write."""
+    from repro.program.ir import SweepOp
+
+    ops = (
+        SweepOp("POST_RECVS"),
+        SweepOp("PACK"),
+        SweepOp("OMP_BARRIER"),
+        SweepOp("COMM_THREAD", body=(SweepOp("POST_SENDS"), SweepOp("WAITALL"))),
+        SweepOp("LOCAL_SPMVM"),
+        SweepOp("REMOTE_SPMVM"),  # seeded: no OMP_BARRIER joined the comm thread yet
+        SweepOp("OMP_BARRIER"),
+    )
+    return _run_seeded_program(ops, "seed-bug thread-race-missing-barrier")
+
+
+def _thread_race_main_halo() -> CheckReport:
+    """The unsplit FULL_SPMVM moved inside the comm-open region: its
+    ``halo_out`` read races the exchange still landing the halo."""
+    from repro.program.ir import SweepOp
+
+    ops = (
+        SweepOp("POST_RECVS"),
+        SweepOp("PACK"),
+        SweepOp("OMP_BARRIER"),
+        SweepOp("COMM_THREAD", body=(SweepOp("POST_SENDS"), SweepOp("WAITALL"))),
+        SweepOp("FULL_SPMVM"),  # seeded: full kernel cannot overlap the exchange
+        SweepOp("OMP_BARRIER"),
+    )
+    return _run_seeded_program(ops, "seed-bug thread-race-main-halo")
+
+
+def _thread_race_unlocked_service() -> CheckReport:
+    """A rogue thread mutates SolverService queue state bypassing the lock."""
+    from repro.check.threads import ThreadSanitizer
+    from repro.matrices import get_matrix
+    from repro.serve import SolverService, build_model
+
+    A = get_matrix("HMeP", "tiny").build_cached()
+    san = ThreadSanitizer()
+    model = build_model(A, 2, scheme="task_mode")
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal(A.nrows)
+    with SolverService(model, sanitizer=san, name="seed-unlocked") as svc:
+        with svc.hold():
+            reqs = [svc.submit(x) for _ in range(2)]
+
+            def rogue() -> None:
+                # seeded: queue state touched without `with svc._lock` —
+                # no hand-off edge orders this against submit/dispatch
+                svc._pending.rotate()
+                svc._note("pending", "w", "rogue-rotate")
+
+            t = threading.Thread(target=rogue, name="rogue")
+            t.start()
+            t.join()
+        for req in reqs:
+            svc.gather(req, timeout=30.0)
+    return san.finalize(context="seed-bug thread-race-unlocked-service")
+
+
+def _astlint_fixture(rule_name: str) -> Callable[[], CheckReport]:
+    """Wrap one astlint rule fixture as a seed-bug runner."""
+
+    def run() -> CheckReport:
+        from repro.check.astlint import lint_fixture
+
+        report = CheckReport(context=f"seed-bug astlint-{rule_name}")
+        report.extend(lint_fixture(rule_name))
+        return report
+
+    return run
+
+
 #: name -> (finding kind the fixture must produce, runner)
 SEED_BUGS: dict[str, tuple[str, Callable[[], CheckReport]]] = {
     "deadlock-cycle": ("deadlock", _deadlock_cycle),
@@ -145,6 +247,13 @@ SEED_BUGS: dict[str, tuple[str, Callable[[], CheckReport]]] = {
     "buffer-hazard": ("buffer-hazard", _buffer_hazard),
     "leaked-request": ("leaked-request", _leaked_request),
     "plan-lint": ("plan-lint", _plan_lint),
+    "thread-race-missing-barrier": ("thread-race", _thread_race_missing_barrier),
+    "thread-race-main-halo": ("thread-race", _thread_race_main_halo),
+    "thread-race-unlocked-service": ("thread-race", _thread_race_unlocked_service),
+    "astlint-hot-alloc": ("ast-lint", _astlint_fixture("hot-path-alloc")),
+    "astlint-float64": ("ast-lint", _astlint_fixture("float64-discipline")),
+    "astlint-lock-discipline": ("ast-lint", _astlint_fixture("lock-discipline")),
+    "astlint-comm-vocab": ("ast-lint", _astlint_fixture("comm-thread-vocabulary")),
 }
 
 

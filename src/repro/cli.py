@@ -50,6 +50,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         ("comm-plans", "plan accounting + simulated node-aware scaling sweep"),
         ("balance", "load-balancing study (compute vs communication)"),
         ("check", "communication correctness analyzer (repro.check)"),
+        ("lint", "repo-invariant AST lint (repro.check.astlint)"),
         ("probe", "Sect. 3 asynchronous-progress probe"),
         ("bench", "timed spMVM micro-benchmarks → BENCH_spmvm.json"),
         ("serve", "persistent solver service: build once, stream requests"),
@@ -277,8 +278,33 @@ def _cmd_check(args: argparse.Namespace) -> int:
     emit (scheme x lowering x block width, :mod:`repro.program`) — the
     one place the Fig. 4 phase orderings live now that both backends
     dispatch through the IR.
+
+    ``--threads`` runs the thread-level race sanitizer instead
+    (:func:`repro.check.check_threads`): every scheme/lowering sweep
+    plus a concurrent solver-service session, each under per-thread
+    vector clocks, reporting causally concurrent conflicting buffer
+    accesses.  Exit 1 on any finding.
     """
     from repro.check import SEED_BUGS, check_spmvm, lint_comm_plan, run_seed_bug
+
+    if args.threads:
+        from repro.check import check_threads
+
+        report = check_threads(
+            matrix=args.matrix,
+            scale=args.scale,
+            nranks=args.nranks,
+            ranks_per_node=args.ranks_per_node,
+        )
+        print(report.render(
+            title=(
+                f"thread sanitizer: {args.matrix}/{args.scale}, "
+                f"{args.nranks} ranks ({args.ranks_per_node}/node), "
+                f"all schemes x (direct, node-aware) x (spmv, spmm) "
+                f"+ 1 service session"
+            )
+        ))
+        return 0 if report.ok else 1
 
     if args.programs:
         from repro.program import all_sweep_programs, lint_sweep_programs
@@ -341,6 +367,47 @@ def _cmd_check(args: argparse.Namespace) -> int:
         )
     ))
     return 0 if report.ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repo-invariant AST lint (repro.check.astlint).
+
+    Walks every ``*.py`` under the repro package (or ``path``) and
+    applies the rule catalog — hot-path allocation, float64 discipline,
+    service lock discipline, comm-thread vocabulary — reporting
+    ``ast-lint`` findings with file:line provenance.  Exit 1 on any
+    finding.
+
+    ``--selftest`` instead runs every rule against its own seeded-bug
+    fixture and fails if any rule stays silent — the proof the lints
+    can catch what they claim to.
+    """
+    from repro.check.astlint import ALL_RULES, get_rule, run_astlint, selftest
+
+    if args.list:
+        for rule in ALL_RULES:
+            print(f"  {rule.name:<24} {rule.description}")
+        return 0
+
+    if args.selftest:
+        silent = selftest()
+        if silent:
+            print(f"FAIL: {len(silent)} rule(s) missed their seeded fixture: {silent}")
+            return 2
+        print(f"OK: all {len(ALL_RULES)} rules fired on their seeded fixtures")
+        return 0
+
+    rules = (get_rule(args.rule),) if args.rule else None
+    findings = run_astlint(args.path, rules=rules)
+    scope = args.rule or f"{len(ALL_RULES)} rules"
+    where = args.path or "src/repro"
+    if not findings:
+        print(f"ast lint ({scope} over {where}): clean")
+        return 0
+    print(f"ast lint ({scope} over {where}): {len(findings)} finding(s)")
+    for f in findings:
+        print(f"  - {f.describe()}")
+    return 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -581,10 +648,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="static plan lint only (no instrumented runs)")
     pk.add_argument("--programs", action="store_true",
                     help="lint every sweep program (repro.program builders) and exit")
+    pk.add_argument("--threads", action="store_true",
+                    help="run the thread-level race sanitizer (repro.check.threads)")
     pk.add_argument("--seed-bug", metavar="NAME", default=None,
                     choices=("deadlock-cycle", "collective-stall", "message-race",
-                             "buffer-hazard", "leaked-request", "plan-lint"),
+                             "buffer-hazard", "leaked-request", "plan-lint",
+                             "thread-race-missing-barrier", "thread-race-main-halo",
+                             "thread-race-unlocked-service", "astlint-hot-alloc",
+                             "astlint-float64", "astlint-lock-discipline",
+                             "astlint-comm-vocab"),
                     help="run a seeded-bug fixture and require its detector to fire")
+    pl = add("lint", _cmd_lint)
+    pl.add_argument("path", nargs="?", default=None,
+                    help="tree to lint (default: the installed repro package)")
+    pl.add_argument("--rule", metavar="NAME", default=None,
+                    help="apply only this rule (see --list)")
+    pl.add_argument("--list", action="store_true", help="list the rule catalog")
+    pl.add_argument("--selftest", action="store_true",
+                    help="require every rule to fire on its seeded fixture")
     add("probe", _cmd_probe)
     pb = add("bench", _cmd_bench)
     pb.add_argument("--quick", action="store_true",

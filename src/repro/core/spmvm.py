@@ -93,6 +93,13 @@ class DistributedSpMVM:
         then dispatch through the spec.  The default CSR reference keeps
         results bit-identical across schemes and lowerings; non-exact
         kernels (``exact=False``) are tolerance-equivalent.
+    sanitizer:
+        Optional :class:`~repro.check.threads.ThreadSanitizer`.  When
+        attached, the sweep interpreter notes every buffer access and
+        thread spawn/join in domain ``rank{comm.rank}`` (per-thread
+        vector clocks, happens-before race detection); ``None`` costs
+        nothing — the zero-cost-when-absent contract of
+        :class:`~repro.check.recorder.CommRecorder`.
     """
 
     def __init__(
@@ -101,6 +108,7 @@ class DistributedSpMVM:
         halo: RankHalo,
         comm_plan: CommPlan | None = None,
         kernel: str | KernelSpec = DEFAULT_KERNEL,
+        sanitizer: Any = None,
     ) -> None:
         if halo.A_local is None or halo.A_remote is None:
             raise ValueError("RankHalo lacks sub-matrices; build plan with_matrices=True")
@@ -118,6 +126,7 @@ class DistributedSpMVM:
             if comm_plan is not None and comm_plan.kind == "node-aware"
             else None
         )
+        self.sanitizer = sanitizer
         self._halo_buf = np.empty(halo.n_halo)
         self._halo_offsets = self._build_offsets()
         # per-peer send buffers, refilled in place every MVM (the router
@@ -127,6 +136,11 @@ class DistributedSpMVM:
         }
         # block (k-column) buffers, grown lazily per batch width
         self._block_bufs: dict[int, tuple[np.ndarray, dict[int, np.ndarray]]] = {}
+        # degenerate halo views (n_halo == 0): A_remote was built with one
+        # zero column, so the remote kernel needs a length-1 zero RHS —
+        # cached here so halo_view stays allocation-free per sweep
+        self._zero_halo = np.zeros(1)
+        self._zero_halo_blocks: dict[int, np.ndarray] = {}
         self.iterations = 0
 
     def _build_offsets(self) -> dict[int, tuple[int, int]]:
@@ -255,7 +269,13 @@ class DistributedSpMVM:
     def halo_view(self, halo_out: np.ndarray) -> np.ndarray:
         """The remote kernel's RHS (A_remote was built with ncols = max(1, n_halo))."""
         if self.halo.n_halo == 0:
-            return np.zeros(1) if halo_out.ndim == 1 else np.zeros((1, halo_out.shape[1]))
+            if halo_out.ndim == 1:
+                return self._zero_halo
+            k = halo_out.shape[1]
+            blk = self._zero_halo_blocks.get(k)
+            if blk is None:
+                blk = self._zero_halo_blocks[k] = np.zeros((1, k))
+            return blk
         return halo_out
 
 
@@ -301,6 +321,7 @@ def distributed_spmv(
     ranks_per_node: int = 1,
     kernel: str | KernelSpec = DEFAULT_KERNEL,
     recorder: Any = None,
+    sanitizer: Any = None,
 ) -> np.ndarray:
     """Compute ``A @ x`` on *nranks* mpilite ranks (the integration driver).
 
@@ -317,7 +338,10 @@ def distributed_spmv(
     Results are bit-identical across lowerings.  ``kernel`` selects the
     registered compute kernel per rank (see :class:`DistributedSpMVM`).
     ``recorder`` attaches a :class:`repro.check.CommRecorder` to the
-    world (dynamic analysis).
+    world (inter-rank dynamic analysis); ``sanitizer`` attaches a
+    :class:`repro.check.ThreadSanitizer` to every rank engine
+    (intra-rank thread-race detection).  Use a fresh sanitizer per run:
+    thread idents are unbound at join and recycled by CPython.
     """
     from repro.mpilite.world import PerRank, run_spmd
 
@@ -327,7 +351,9 @@ def distributed_spmv(
     cplan = lower_comm_plan(plan, nranks, comm_plan, ranks_per_node)
 
     def rank_fn(comm: Comm, halo: RankHalo) -> np.ndarray:
-        engine = DistributedSpMVM(comm, halo, comm_plan=cplan, kernel=kspec)
+        engine = DistributedSpMVM(
+            comm, halo, comm_plan=cplan, kernel=kspec, sanitizer=sanitizer
+        )
         x_local = scatter_vector(x, plan.partition, comm.rank)
         y_local = engine.multiply(x_local, scheme)
         for _ in range(iterations - 1):
@@ -351,13 +377,14 @@ def distributed_spmm(
     ranks_per_node: int = 1,
     kernel: str | KernelSpec = DEFAULT_KERNEL,
     recorder: Any = None,
+    sanitizer: Any = None,
 ) -> np.ndarray:
     """Compute the block product ``A @ X`` on *nranks* mpilite ranks.
 
     The batched twin of :func:`distributed_spmv`: one halo exchange (one
     message per peer) serves all ``X.shape[1]`` right-hand sides.  See
     :func:`distributed_spmv` for ``comm_plan``/``ranks_per_node``/
-    ``kernel``.
+    ``kernel``/``recorder``/``sanitizer``.
     """
     from repro.mpilite.world import PerRank, run_spmd
 
@@ -370,7 +397,9 @@ def distributed_spmm(
     cplan = lower_comm_plan(plan, nranks, comm_plan, ranks_per_node)
 
     def rank_fn(comm: Comm, halo: RankHalo) -> np.ndarray:
-        engine = DistributedSpMVM(comm, halo, comm_plan=cplan, kernel=kspec)
+        engine = DistributedSpMVM(
+            comm, halo, comm_plan=cplan, kernel=kspec, sanitizer=sanitizer
+        )
         X_local = scatter_vector(X, plan.partition, comm.rank)
         Y_local = engine.multiply_block(X_local, scheme)
         for _ in range(iterations - 1):

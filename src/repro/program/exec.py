@@ -35,13 +35,27 @@ from repro.program.ir import SweepOp, SweepProgram
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.spmvm import DistributedSpMVM
 
-__all__ = ["execute_sweep"]
+__all__ = ["UnjoinedCommThreadError", "execute_sweep"]
+
+
+class UnjoinedCommThreadError(RuntimeError):
+    """A program finished with its COMM_THREAD region still open.
+
+    The static lint (:func:`repro.program.lint.lint_sweep_program`)
+    rejects such programs before they run; this is the runtime twin for
+    hand-built programs that bypass the builders — compute ops racing
+    an open communication thread is exactly the hazard the thread
+    sanitizer (:mod:`repro.check.threads`) reports access by access.
+    """
 
 
 class _SweepState:
     """Per-sweep mutable state shared between main and comm thread."""
 
-    __slots__ = ("x", "halo_out", "send_bufs", "recvs", "reqs", "y", "thread", "error")
+    __slots__ = (
+        "x", "halo_out", "send_bufs", "recvs", "reqs", "y", "thread", "error",
+        "san", "domain", "comm_op", "comm_token",
+    )
 
     def __init__(self, x: np.ndarray, halo_out: np.ndarray, send_bufs) -> None:
         self.x = x
@@ -52,6 +66,35 @@ class _SweepState:
         self.y: np.ndarray | None = None
         self.thread: threading.Thread | None = None
         self.error: list[BaseException] = []
+        #: opt-in thread sanitizer (repro.check.threads); None costs nothing
+        self.san = None
+        self.domain = ""
+        self.comm_op: SweepOp | None = None  # open COMM_THREAD, for provenance
+        self.comm_token: int | None = None  # sanitizer spawn token
+
+
+#: Buffers each op kind reads/writes — the access model the thread
+#: sanitizer checks.  PACK publishes send_bufs from x; the comm side
+#: (POST_SENDS/WAITALL) consumes x and send_bufs and lands halo_out
+#: (the plan lowering re-packs from x inside the sends and reads x
+#: during finish relays, hence x on both); the compute side reads x and
+#: halo_out into y.  OMP_BARRIER is pure synchronisation.
+_OP_READS = {
+    "PACK": ("x",),
+    "POST_SENDS": ("x", "send_bufs"),
+    "WAITALL": ("x", "recvs"),
+    "LOCAL_SPMVM": ("x",),
+    "REMOTE_SPMVM": ("halo_out",),
+    "FULL_SPMVM": ("x", "halo_out"),
+}
+_OP_WRITES = {
+    "POST_RECVS": ("recvs",),
+    "PACK": ("send_bufs",),
+    "WAITALL": ("halo_out",),
+    "LOCAL_SPMVM": ("y",),
+    "REMOTE_SPMVM": ("y",),
+    "FULL_SPMVM": ("y",),
+}
 
 
 def execute_sweep(
@@ -76,11 +119,34 @@ def execute_sweep(
         )
     halo_out, send_bufs = engine.sweep_buffers(x)
     state = _SweepState(x, halo_out, send_bufs)
+    san = getattr(engine, "sanitizer", None)
+    if san is not None:
+        state.san = san
+        state.domain = f"rank{engine.comm.rank}"
     try:
         _run_ops(engine, program.ops, state, op_log)
-    finally:
-        if state.thread is not None:  # defensive: lint rejects such programs
+    except BaseException:
+        if state.thread is not None:  # never leak the worker on the error path
             state.thread.join()
+        raise
+    if state.thread is not None:
+        # pre-PR-9 this was a defensive join; now it is a hard error with
+        # provenance: the static lint rejects such programs, and any
+        # program reaching here ran compute ops concurrently with an open
+        # COMM_THREAD region — the exact hazard the thread sanitizer
+        # reports access by access
+        state.thread.join()
+        _raise_comm_error(state)
+        body = (
+            ",".join(inner.kind for inner in state.comm_op.body)
+            if state.comm_op is not None
+            else "?"
+        )
+        raise UnjoinedCommThreadError(
+            f"rank {engine.comm.rank}: program for scheme {program.scheme!r} "
+            f"finished with its COMM_THREAD({body}) region still open — no "
+            f"trailing OMP_BARRIER joined the communication thread"
+        )
     _raise_comm_error(state)
     if state.y is None:
         raise RuntimeError(
@@ -102,7 +168,19 @@ def _run_ops(
             continue
         if op_log is not None:
             op_log.append(op.kind)
-        _OP_HANDLERS[op.kind](engine, state)
+        _issue(engine, op.kind, state)
+
+
+def _issue(engine: "DistributedSpMVM", kind: str, state: _SweepState) -> None:
+    """Run one op, noting its buffer accesses when a sanitizer is attached."""
+    san = state.san
+    if san is not None:
+        domain = state.domain
+        for buf in _OP_READS.get(kind, ()):
+            san.on_access(domain, buf, "r", op=kind)
+        for buf in _OP_WRITES.get(kind, ()):
+            san.on_access(domain, buf, "w", op=kind)
+    _OP_HANDLERS[kind](engine, state)
 
 
 def _spawn_comm_thread(
@@ -117,17 +195,23 @@ def _spawn_comm_thread(
         op_log.append("COMM_THREAD{")
         op_log.extend(inner.kind for inner in op.body)
         op_log.append("}")
+    name = f"comm-thread-{engine.comm.rank}"
+    token = None
+    if state.san is not None:
+        token = state.san.on_spawn(state.domain, name)
 
     def worker() -> None:
         try:
+            if token is not None:
+                state.san.on_thread_start(state.domain, token)
             for inner in op.body:
-                _OP_HANDLERS[inner.kind](engine, state)
+                _issue(engine, inner.kind, state)
         except BaseException as exc:  # noqa: BLE001 - re-raised on join
             state.error.append(exc)
 
-    state.thread = threading.Thread(
-        target=worker, name=f"comm-thread-{engine.comm.rank}"
-    )
+    state.comm_op = op
+    state.comm_token = token
+    state.thread = threading.Thread(target=worker, name=name)
     state.thread.start()
 
 
@@ -205,6 +289,9 @@ def _omp_barrier(engine: "DistributedSpMVM", state: _SweepState) -> None:
     if state.thread is not None:
         state.thread.join()
         state.thread = None
+        if state.san is not None and state.comm_token is not None:
+            state.san.on_join(state.domain, state.comm_token)
+            state.comm_token = None
         _raise_comm_error(state)
 
 

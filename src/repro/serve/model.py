@@ -82,12 +82,14 @@ class BuiltModel:
         """Ranks of the worker pool this model was built for."""
         return self.plan.nranks
 
-    def engine(self, comm: "Comm") -> "DistributedSpMVM":
+    def engine(self, comm: "Comm", *, sanitizer=None) -> "DistributedSpMVM":
         """The per-rank engine of ``comm.rank``, on this model's state.
 
         Construction is cheap by design: the halo plan, sub-matrices,
         comm plan, program and converted kernel operators already exist;
         the engine only allocates its per-rank sweep buffers.
+        ``sanitizer`` attaches a thread sanitizer to the engine's sweeps
+        (:mod:`repro.check.threads`); ``None`` costs nothing.
         """
         from repro.core.spmvm import DistributedSpMVM
 
@@ -96,6 +98,7 @@ class BuiltModel:
             self.plan.ranks[comm.rank],
             comm_plan=self.comm_plan,
             kernel=self.kernel,
+            sanitizer=sanitizer,
         )
 
     def describe(self) -> str:

@@ -128,6 +128,7 @@ class SolverService:
         max_batch: int = 16,
         recv_timeout: float | None = None,
         recorder=None,
+        sanitizer=None,
         name: str = "solver",
     ) -> None:
         if max_batch < 1:
@@ -136,7 +137,19 @@ class SolverService:
         self.max_batch = max_batch
         self.name = name
         self.world = open_world(model.nranks, recv_timeout=recv_timeout, recorder=recorder)
-        self._lock = threading.Condition()
+        # opt-in thread sanitizer (repro.check.threads): when attached,
+        # the service lock becomes a TrackedCondition (lock hand-off
+        # happens-before edges) and shared-state touches are noted via
+        # _note(); when absent, _tsan is None and nothing here costs a
+        # single extra branch beyond the `is not None` checks
+        self._tsan = sanitizer
+        self._tsan_domain = f"service:{name}"
+        if sanitizer is not None:
+            from repro.check.threads import TrackedCondition
+
+            self._lock = TrackedCondition(sanitizer, self._tsan_domain, "service-lock")
+        else:
+            self._lock = threading.Condition()
         self._pending: deque[tuple[ServeRequest, np.ndarray]] = deque()
         self._inboxes: list[deque] = [deque() for _ in range(model.nranks)]
         self._state = "running"  # running -> closing -> closed | failed
@@ -188,10 +201,11 @@ class SolverService:
             )
         with self._lock:
             if self._state != "running":
-                raise ServiceClosedError(self._closed_message("submit"))
+                raise ServiceClosedError(self._closed_message_locked("submit"))
             req = ServeRequest(self._next_id, data.shape[1], squeeze)
             self._next_id += 1
             self._pending.append((req, data))
+            self._note("pending", "w", "submit")
             self._lock.notify_all()
         return req
 
@@ -209,7 +223,7 @@ class SolverService:
         if not request._event.wait(timeout):
             raise TimeoutError(
                 f"request {request.id} not served within {timeout} s "
-                f"(service {self.name!r} is {self._state})"
+                f"(service {self.name!r} is {self.state})"
             )
         if request._error is not None:
             raise request._error
@@ -239,17 +253,24 @@ class SolverService:
     @property
     def state(self) -> str:
         """``running``, ``closing``, ``closed`` or ``failed``."""
-        return self._state
+        # the service lock is a Condition over an RLock, so reading the
+        # state while already holding the lock is fine
+        with self._lock:
+            return self._state
 
     @property
     def stats(self) -> dict:
         """Service counters: requests, columns, batches, batch widths."""
         with self._lock:
+            self._note("counters", "r", "stats")
             widths = tuple(self._batch_widths)
+            state = self._state
+            requests = self._requests_served
+            columns = self._columns_served
         return {
-            "state": self._state,
-            "requests": self._requests_served,
-            "columns": self._columns_served,
+            "state": state,
+            "requests": requests,
+            "columns": columns,
             "batches": len(widths),
             "batch_widths": widths,
             "max_batch_width": max(widths, default=0),
@@ -279,6 +300,7 @@ class SolverService:
             if self._state == "running":
                 self._cancel_on_close = not drain
                 self._state = "closing"
+                self._note("state", "w", "close")
             self._lock.notify_all()
         self._dispatcher.join(timeout)
         if self._dispatcher.is_alive():
@@ -302,7 +324,19 @@ class SolverService:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _closed_message(self, verb: str) -> str:
+    def _note(self, buffer: str, mode: str, op: str) -> None:
+        """Record one shared-state access with the attached sanitizer.
+
+        Call sites hold ``self._lock``; the sanitizer then sees every
+        access ordered by the lock hand-off edges the TrackedCondition
+        publishes, so a clean service run reports zero races — and a
+        bypassed lock (the seeded ``thread-race-unlocked-service``
+        fixture) shows up as causally concurrent accesses.
+        """
+        if self._tsan is not None:
+            self._tsan.on_access(self._tsan_domain, buffer, mode, op=op)
+
+    def _closed_message_locked(self, verb: str) -> str:
         msg = f"cannot {verb}: service {self.name!r} is {self._state}"
         if self._fail_reason:
             msg += f" ({self._fail_reason})"
@@ -346,12 +380,14 @@ class SolverService:
                         entries.append((req, width))
                         blocks.append(data)
                         width += req.k
+                    self._note("pending", "w", "dispatch")
                     batch = _Batch(self._seq, entries, nranks, width)
                     self._seq += 1
                     X = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=1)
                     for r in range(nranks):
                         lo, hi = partition.bounds(r)
                         self._inboxes[r].append((batch, X[lo:hi]))
+                    self._note("inboxes", "w", "dispatch")
                     self._lock.notify_all()
                     # at most one batch in flight: wait for it, so
                     # requests arriving meanwhile coalesce into the next
@@ -362,6 +398,7 @@ class SolverService:
             with self._lock:
                 if self._state != "failed":
                     self._state = "closed"
+                self._note("state", "w", "dispatch-exit")
                 self._cancel_pending_locked()
                 self._lock.notify_all()
 
@@ -370,6 +407,7 @@ class SolverService:
             for req, _off in batch.entries:
                 req._complete(None, batch.error)
             return
+        self._note("batch-parts", "r", "finish-batch")
         Y = np.concatenate(batch.parts, axis=0)
         for req, off in batch.entries:
             block = Y[:, off : off + req.k]
@@ -378,11 +416,12 @@ class SolverService:
         self._batch_widths.append(batch.width)
         self._requests_served += len(batch.entries)
         self._columns_served += batch.width
+        self._note("counters", "w", "finish-batch")
 
     def _worker(self, rank: int) -> None:
         comm = self.world.comms[rank]
         try:
-            engine = self.model.engine(comm)
+            engine = self.model.engine(comm, sanitizer=self._tsan)
         except Exception as exc:  # fail loudly, never die silently
             self._worker_failed(None, rank, exc)
             return
@@ -395,6 +434,7 @@ class SolverService:
                 if not inbox:
                     return
                 batch, X_local = inbox.popleft()
+                self._note("inboxes", "w", f"worker{rank}-take")
                 fault = rank in self._fault
             try:
                 if fault:
@@ -406,6 +446,7 @@ class SolverService:
             with self._lock:
                 batch.parts[rank] = Y_local
                 batch.remaining -= 1
+                self._note("batch-parts", "w", f"worker{rank}-land")
                 if batch.remaining == 0:
                     self._lock.notify_all()
 
@@ -413,6 +454,7 @@ class SolverService:
         with self._lock:
             first = self._state != "failed"
             self._state = "failed"
+            self._note("state", "w", f"worker{rank}-failed")
             if first:
                 self._fail_reason = f"rank {rank}: {exc!r}"
             if batch is not None:

@@ -91,7 +91,7 @@ def _segmented_block_rowsums(
         if not add:
             out[:] = 0.0
         return out
-    XT = np.ascontiguousarray(X.T)
+    XT = np.ascontiguousarray(X.T)  # lint: allow(hot-path-alloc) one amortised transpose
     starts = row_ptr[:-1]
     nonempty = row_ptr[1:] > starts
     if nonempty.all():

@@ -22,6 +22,7 @@ EXPECTED_NAMES = {
     "distributed-spmm-k1", "distributed-spmm-k4", "distributed-spmm-k16",
     "program-overhead",
     "serve-cold", "serve-warm", "serve-coalesced",
+    "sanitizer-overhead",
 }
 
 
@@ -77,7 +78,9 @@ def tiny_suite():
 
 def test_suite_covers_all_paths(tiny_suite):
     assert {r.name for r in tiny_suite} == EXPECTED_NAMES
-    assert {r.group for r in tiny_suite} == {"kernel", "distributed", "program", "serve"}
+    assert {r.group for r in tiny_suite} == {
+        "kernel", "distributed", "program", "serve", "check",
+    }
     for r in tiny_suite:
         assert r.seconds.min > 0
         assert r.derived["gflops"] > 0
@@ -210,6 +213,45 @@ def test_serve_guard_enforces_at_guard_size():
     tiny = _serve_result("serve-warm", SERVE_GUARD_MIN_ROWS - 1,
                          {"warm_speedup_vs_cold": 0.5, "guard_min": 5.0})
     assert serve_guard([tiny]) == []
+
+
+def test_sanitizer_overhead_reported(tiny_suite):
+    from repro.bench.suite import (
+        SANITIZER_GUARD_MIN_ROWS,
+        SANITIZER_OVERHEAD_MAX,
+        sanitizer_guard,
+    )
+
+    (r,) = [r for r in tiny_suite if r.name == "sanitizer-overhead"]
+    assert r.group == "check"
+    assert r.derived["guard_max"] == SANITIZER_OVERHEAD_MAX
+    assert r.derived["events_observed"] > 0
+    assert r.derived["plain_seconds"] > 0
+    # 300 rows is below SANITIZER_GUARD_MIN_ROWS: reported, not enforced
+    # (sub-millisecond sweeps put thread spin-up jitter in the ratio)
+    assert r.params["nrows"] < SANITIZER_GUARD_MIN_ROWS
+    assert sanitizer_guard(tiny_suite) == []
+
+
+def _sanitizer_result(nrows, overhead):
+    return BenchResult(
+        name="sanitizer-overhead", group="check", warmup=1, repeat=5,
+        seconds=TimingStats(samples=(1.0,)),
+        params={"nrows": nrows, "nnz": 10 * nrows, "nranks": 2, "scheme": "task_mode"},
+        derived={"overhead_vs_plain": overhead, "guard_max": 1.2},
+    )
+
+
+def test_sanitizer_guard_enforces_at_guard_size():
+    from repro.bench.suite import SANITIZER_GUARD_MIN_ROWS, sanitizer_guard
+
+    ok = _sanitizer_result(4000, 1.1)
+    assert sanitizer_guard([ok]) == ["sanitizer-overhead"]
+    with pytest.raises(AssertionError, match="sanitizer-overhead"):
+        sanitizer_guard([_sanitizer_result(4000, 1.5)])
+    # sub-guard sizes are never enforced
+    tiny = _sanitizer_result(SANITIZER_GUARD_MIN_ROWS - 1, 1.5)
+    assert sanitizer_guard([tiny]) == []
 
 
 def test_write_results_schema(tiny_suite, tmp_path):
