@@ -16,9 +16,12 @@ from repro.bench.suite import (
     BLOCK_WIDTHS,
     SANITIZER_OVERHEAD_MAX,
     SERVE_WARM_SPEEDUP_MIN,
+    SOLVER_GUARD_MIN_ROWS,
+    SOLVER_SPEED_RATIO_MAX,
     kernel_guard,
     sanitizer_guard,
     serve_guard,
+    solver_guard,
     spmvm_suite,
     workload_guard,
 )
@@ -32,9 +35,12 @@ __all__ = [
     "BLOCK_WIDTHS",
     "SANITIZER_OVERHEAD_MAX",
     "SERVE_WARM_SPEEDUP_MIN",
+    "SOLVER_GUARD_MIN_ROWS",
+    "SOLVER_SPEED_RATIO_MAX",
     "kernel_guard",
     "sanitizer_guard",
     "serve_guard",
+    "solver_guard",
     "spmvm_suite",
     "workload_guard",
 ]

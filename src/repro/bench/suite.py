@@ -23,6 +23,15 @@ Three groups mirror the layers of the implementation:
   plus coalesced-batch throughput with every response checked
   bit-for-bit against the same service's independent per-request
   answers;
+* ``solver`` — the communication-avoiding CG contract
+  (:func:`repro.solvers.sstep_cg` vs classic
+  :func:`~repro.solvers.conjugate_gradient`, SPMD on a Poisson system):
+  both must converge to the same solution, and the s-step variant must
+  post strictly fewer communication operations per iteration — counted
+  deterministically from the operators' ``counters``, not timed
+  (:func:`solver_guard`); an interleaved wall-time ratio additionally
+  guards the latency-dominated small-matrix regime against the fused
+  path being slower where it should win;
 * ``check`` — the opt-in observability tax: one task-mode
   ``distributed_spmv`` with a :class:`~repro.check.ThreadSanitizer`
   attached vs. the same sweep uninstrumented, interleaved
@@ -70,9 +79,12 @@ __all__ = [
     "KERNEL_GUARD_MIN_ROWS",
     "SANITIZER_OVERHEAD_MAX",
     "SERVE_WARM_SPEEDUP_MIN",
+    "SOLVER_GUARD_MIN_ROWS",
+    "SOLVER_SPEED_RATIO_MAX",
     "kernel_guard",
     "sanitizer_guard",
     "serve_guard",
+    "solver_guard",
     "workload_guard",
     "spmvm_suite",
 ]
@@ -107,6 +119,20 @@ SERVE_GUARD_MIN_ROWS = 2_000
 #: policy as :data:`KERNEL_GUARD_MIN_ROWS`/:data:`SERVE_GUARD_MIN_ROWS`.
 SANITIZER_OVERHEAD_MAX = 1.20
 SANITIZER_GUARD_MIN_ROWS = 2_000
+
+#: Maximum s-step/classic CG wall-time ratio on the latency-dominated
+#: small-matrix configuration (:func:`solver_guard`).  The margin is
+#: generous — in-process mpilite has no wire latency, so most of the
+#: fused-collective win cannot show up here; the ratio only guards
+#: against the restructured solver being outright slower.  The message
+#: economics are guarded separately on *counted* communication, which is
+#: deterministic.
+SOLVER_SPEED_RATIO_MAX = 1.25
+
+#: Smallest system on which :func:`solver_guard` enforces the wall-time
+#: ratio (same no-flake policy as :data:`KERNEL_GUARD_MIN_ROWS`; the
+#: counted-communication assertions are enforced at every size).
+SOLVER_GUARD_MIN_ROWS = 2_000
 
 
 def _gflops(nnz: int, k: int, seconds: float) -> float:
@@ -699,6 +725,192 @@ def sanitizer_guard(results: list[BenchResult]) -> list[str]:
     return enforced
 
 
+def _solver_benches(
+    rng: np.random.Generator,
+    *,
+    nranks: int,
+    quick: bool,
+    warmup: int,
+    repeat: int,
+) -> list[BenchResult]:
+    """The solver group: classic vs communication-avoiding CG, SPMD.
+
+    One Poisson system, two SPMD solves per sample: classic CG (one
+    exchange + three collectives per iteration) and :func:`sstep_cg`
+    (one 2-sweep pipelined matrix-powers exchange + ONE fused collective
+    per outer step of two iterations).  Communication is *counted* on
+    the operators' ``counters`` — deterministic, so the economics guard
+    can be strict — while wall times interleave classic/s-step samples
+    per round so machine noise moves both sides of the ratio.  Both
+    solvers must converge and agree on the solution before any figure is
+    reported.
+    """
+    from repro.core.halo import cached_halo_plan
+    from repro.core.spmvm import gather_vector, scatter_vector
+    from repro.matrices import poisson_2d
+    from repro.mpilite.world import PerRank, run_spmd
+    from repro.solvers import DistributedOperator, conjugate_gradient, sstep_cg
+
+    grid = 32 if quick else 63
+    A = poisson_2d(grid)
+    plan = cached_halo_plan(A, nranks, with_matrices=True)
+    b = rng.standard_normal(A.nrows)
+    tol, max_iter = 1e-8, 3000
+    base = {"nrows": A.nrows, "nnz": A.nnz, "nranks": nranks, "grid": grid}
+
+    def solve(kind: str):
+        def fn(comm, halo):
+            op = DistributedOperator(comm, halo, "task_mode")
+            bl = scatter_vector(b, plan.partition, comm.rank)
+            if kind == "classic":
+                res = conjugate_gradient(op, bl, tol=tol, max_iter=max_iter)
+            else:
+                res = sstep_cg(op, bl, tol=tol, max_iter=max_iter)
+            return res.x, res.iterations, res.converged, dict(op.counters)
+        return run_spmd(nranks, fn, PerRank(plan.ranks))
+
+    classic = solve("classic")
+    sstep = solve("sstep")
+    for name, out in (("classic", classic), ("sstep", sstep)):
+        if not all(o[2] for o in out):
+            raise AssertionError(
+                f"solver-cg-{name} did not converge on the Poisson system; "
+                f"refusing to report communication economics of a failed solve"
+            )
+    x_classic = gather_vector([o[0] for o in classic])
+    x_sstep = gather_vector([o[0] for o in sstep])
+    if not np.allclose(x_sstep, x_classic, rtol=1e-4, atol=1e-4):
+        raise AssertionError(
+            "solver-cg-sstep solution disagrees with classic CG beyond the "
+            "convergence tolerance; a faster wrong solver is not a result"
+        )
+
+    def economics(out) -> dict[str, float]:
+        iters = max(out[0][1], 1)
+        exchanges = out[0][3]["exchanges"]  # identical on every rank
+        reductions = out[0][3]["reductions"]
+        messages = sum(o[3]["messages"] for o in out)
+        return {
+            "iterations": float(out[0][1]),
+            "exchanges_per_iteration": exchanges / iters,
+            "reductions_per_iteration": reductions / iters,
+            "messages_per_iteration": messages / iters,
+            "comm_posts_per_iteration": (exchanges + reductions) / iters,
+        }
+
+    eco_classic, eco_sstep = economics(classic), economics(sstep)
+
+    rounds = max(repeat, 3)
+    best = None
+    for _ in range(3):
+        for _ in range(max(warmup, 1)):
+            solve("classic")
+            solve("sstep")
+        classic_s, sstep_s = [], []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            solve("classic")
+            classic_s.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            solve("sstep")
+            sstep_s.append(time.perf_counter() - t0)
+        trial = (
+            min(sstep_s) / min(classic_s),
+            TimingStats(tuple(classic_s)),
+            TimingStats(tuple(sstep_s)),
+        )
+        if best is None or trial[0] < best[0]:
+            best = trial
+        if best[0] <= 1.05:
+            break
+    ratio, classic_stats, sstep_stats = best
+    return [
+        BenchResult(
+            name="solver-cg-classic", group="solver",
+            warmup=max(warmup, 1), repeat=rounds, seconds=classic_stats,
+            params=base,
+            derived={
+                "gflops": _gflops(A.nnz, 1, classic_stats.min / max(eco_classic["iterations"], 1)),
+                **eco_classic,
+            },
+        ),
+        BenchResult(
+            name="solver-cg-sstep", group="solver",
+            warmup=max(warmup, 1), repeat=rounds, seconds=sstep_stats,
+            params=base,
+            derived={
+                "gflops": _gflops(A.nnz, 1, sstep_stats.min / max(eco_sstep["iterations"], 1)),
+                **eco_sstep,
+                "classic_reductions_per_iteration": eco_classic["reductions_per_iteration"],
+                "classic_messages_per_iteration": eco_classic["messages_per_iteration"],
+                "classic_comm_posts_per_iteration": eco_classic["comm_posts_per_iteration"],
+                "classic_iterations": eco_classic["iterations"],
+                "time_ratio_vs_classic": ratio,
+                "solutions_match": 1.0,
+                "guard_ratio_max": SOLVER_SPEED_RATIO_MAX,
+            },
+        ),
+    ]
+
+
+def solver_guard(results: list[BenchResult]) -> list[str]:
+    """Assert the communication-avoiding CG actually avoids communication.
+
+    On the ``solver-cg-sstep`` result: strictly fewer collective
+    reductions per iteration than classic CG, no more point-to-point
+    halo messages per iteration, strictly fewer total communication
+    posts per iteration, and the solutions-match marker present (the
+    bench raises before producing a result otherwise).  These are
+    counted quantities — deterministic, so violations are real.  The
+    interleaved wall-time ratio must additionally stay under
+    :data:`SOLVER_SPEED_RATIO_MAX` at :data:`SOLVER_GUARD_MIN_ROWS` rows
+    and above.  Returns the names enforced; raises
+    :class:`AssertionError` on violation.
+    """
+    enforced = []
+    for r in results:
+        if r.group != "solver" or r.name != "solver-cg-sstep":
+            continue
+        d = r.derived
+        if d.get("solutions_match") != 1.0:
+            raise AssertionError(
+                "solver-cg-sstep: missing the solutions-match marker; the "
+                "s-step path was benchmarked without being verified"
+            )
+        if d["reductions_per_iteration"] >= d["classic_reductions_per_iteration"]:
+            raise AssertionError(
+                f"solver-cg-sstep: {d['reductions_per_iteration']:.3f} "
+                f"reductions/iteration is not strictly below classic CG's "
+                f"{d['classic_reductions_per_iteration']:.3f}; the fused "
+                f"collective stopped fusing"
+            )
+        if d["messages_per_iteration"] > d["classic_messages_per_iteration"] + 1e-9:
+            raise AssertionError(
+                f"solver-cg-sstep: {d['messages_per_iteration']:.3f} halo "
+                f"messages/iteration exceeds classic CG's "
+                f"{d['classic_messages_per_iteration']:.3f}; the matrix-powers "
+                f"chain grew extra exchanges"
+            )
+        if d["comm_posts_per_iteration"] >= d["classic_comm_posts_per_iteration"]:
+            raise AssertionError(
+                f"solver-cg-sstep: {d['comm_posts_per_iteration']:.3f} "
+                f"communication posts/iteration is not strictly below classic "
+                f"CG's {d['classic_comm_posts_per_iteration']:.3f} — the "
+                f"communication-avoiding variant stopped avoiding communication"
+            )
+        if r.params.get("nrows", 0) >= SOLVER_GUARD_MIN_ROWS:
+            ratio = d["time_ratio_vs_classic"]
+            if ratio > SOLVER_SPEED_RATIO_MAX:
+                raise AssertionError(
+                    f"solver-cg-sstep: wall time is {ratio:.3f}x classic CG "
+                    f"(guard: <= {SOLVER_SPEED_RATIO_MAX}) on the "
+                    f"latency-dominated configuration; the pipelined path "
+                    f"must never lose outright"
+                )
+        enforced.append(r.name)
+    return enforced
+
+
 def _workload_benches() -> list[BenchResult]:
     """The workload group: reference-trace policy studies + contention.
 
@@ -918,6 +1130,9 @@ def spmvm_suite(
     results += _sanitizer_benches(
         A, rng, nranks=nranks, scheme=scheme, warmup=warmup, repeat=repeat
     )
+    results += _solver_benches(
+        rng, nranks=nranks, quick=quick, warmup=warmup, repeat=repeat
+    )
     if workload is None:
         workload = not quick
     if workload:
@@ -925,5 +1140,6 @@ def spmvm_suite(
     kernel_guard(results)
     serve_guard(results)
     sanitizer_guard(results)
+    solver_guard(results)
     workload_guard(results)
     return results

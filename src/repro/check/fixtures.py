@@ -197,6 +197,41 @@ def _thread_race_main_halo() -> CheckReport:
     return _run_seeded_program(ops, "seed-bug thread-race-main-halo")
 
 
+def _thread_race_sweep_overlap() -> CheckReport:
+    """A pipelined 2-sweep program rebuilt with ``halo_depth=1``: sweep 1's
+    POST_RECVS hands the single halo slot to MPI while the main thread's
+    REMOTE_SPMVM of sweep 0 still reads it (the bug double-buffering
+    exists to prevent)."""
+    from repro.check.threads import ThreadSanitizer
+    from repro.core.halo import cached_halo_plan
+    from repro.core.spmvm import DistributedSpMVM, scatter_vector
+    from repro.matrices import get_matrix
+    from repro.mpilite.world import PerRank, run_spmd
+    from repro.program.build import build_multi_sweep
+    from repro.program.exec import execute_multi_sweep
+
+    good = build_multi_sweep("task_mode", 2, pipeline=True)
+    # seeded: collapse the halo ring to one slot, bypassing the lint
+    # (lint_multi_sweep_program rejects this exact program)
+    program = dataclasses.replace(good, halo_depth=1)
+
+    A = get_matrix("HMeP", "tiny").build_cached()
+    nranks = 2
+    plan = cached_halo_plan(A, nranks, with_matrices=True)
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal(A.nrows)
+    san = ThreadSanitizer()
+
+    def fn(comm, halo) -> list[np.ndarray]:
+        engine = DistributedSpMVM(comm, halo, sanitizer=san)
+        return execute_multi_sweep(
+            engine, program, scatter_vector(x, plan.partition, comm.rank)
+        )
+
+    run_spmd(nranks, fn, PerRank(plan.ranks), recv_timeout=10.0, timeout=30.0)
+    return san.finalize(context="seed-bug thread-race-sweep-overlap")
+
+
 def _thread_race_unlocked_service() -> CheckReport:
     """A rogue thread mutates SolverService queue state bypassing the lock."""
     from repro.check.threads import ThreadSanitizer
@@ -249,6 +284,7 @@ SEED_BUGS: dict[str, tuple[str, Callable[[], CheckReport]]] = {
     "plan-lint": ("plan-lint", _plan_lint),
     "thread-race-missing-barrier": ("thread-race", _thread_race_missing_barrier),
     "thread-race-main-halo": ("thread-race", _thread_race_main_halo),
+    "thread-race-sweep-overlap": ("thread-race", _thread_race_sweep_overlap),
     "thread-race-unlocked-service": ("thread-race", _thread_race_unlocked_service),
     "astlint-hot-alloc": ("ast-lint", _astlint_fixture("hot-path-alloc")),
     "astlint-float64": ("ast-lint", _astlint_fixture("float64-discipline")),

@@ -99,6 +99,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import (
         overlap_bytes_with_phase,
         phase_summary,
+        render_op_costs,
         simulation_metrics,
         write_chrome_trace,
     )
@@ -113,6 +114,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         eager_threshold=args.eager_threshold,
         async_progress=args.async_progress,
+        n_sweeps=args.sweeps,
+        pipeline=not args.no_pipeline,
         trace=True,
     )
     assert r.trace is not None
@@ -124,6 +127,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"\nrendezvous bytes moved during the endpoints' local spMVM: "
         f"{overlap_bytes:.0f} B"
     )
+    if args.per_op:
+        print()
+        print(render_op_costs(r.trace))
     if args.metrics:
         print()
         for name, value in sorted(simulation_metrics(r).items()):
@@ -602,6 +608,12 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--eager-threshold", type=int, default=1024)
     pt.add_argument("--async-progress", action="store_true",
                     help="model an MPI library with working progress threads")
+    pt.add_argument("--sweeps", type=int, default=1,
+                    help="chain N sweeps per iteration as one multi-sweep program")
+    pt.add_argument("--no-pipeline", action="store_true",
+                    help="sequential multi-sweep program (no cross-sweep overlap)")
+    pt.add_argument("--per-op", action="store_true",
+                    help="print per-op cost attribution (program/sweep/op)")
     pt.add_argument("--metrics", action="store_true", help="print the flat metrics dict")
     pt.add_argument("--trace-json", metavar="PATH", default=None,
                     help="write Chrome trace_event JSON to PATH")
@@ -654,6 +666,7 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("deadlock-cycle", "collective-stall", "message-race",
                              "buffer-hazard", "leaked-request", "plan-lint",
                              "thread-race-missing-barrier", "thread-race-main-halo",
+                             "thread-race-sweep-overlap",
                              "thread-race-unlocked-service", "astlint-hot-alloc",
                              "astlint-float64", "astlint-lock-discipline",
                              "astlint-comm-vocab"),

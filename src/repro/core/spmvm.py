@@ -44,9 +44,9 @@ from repro.comm.exec import RankExchange
 from repro.comm.plan import PLAN_KINDS, CommPlan, cached_comm_plan
 from repro.core.halo import RankHalo, cached_halo_plan
 from repro.mpilite.comm import Comm
-from repro.program.build import cached_sweep_program
-from repro.program.exec import execute_sweep
-from repro.program.ir import SweepProgram
+from repro.program.build import cached_multi_sweep_program, cached_sweep_program
+from repro.program.exec import execute_multi_sweep, execute_sweep
+from repro.program.ir import MultiSweepProgram, SweepProgram
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.partition import RowPartition
 from repro.sparse.registry import DEFAULT_KERNEL, KernelSpec, build_operator, get_kernel
@@ -136,6 +136,11 @@ class DistributedSpMVM:
         }
         # block (k-column) buffers, grown lazily per batch width
         self._block_bufs: dict[int, tuple[np.ndarray, dict[int, np.ndarray]]] = {}
+        # multi-sweep double-buffer rings, grown lazily per (depth, k):
+        # slot s % depth holds sweep s's halo landing + send buffers
+        self._multi_bufs: dict[
+            tuple[int, int], list[tuple[np.ndarray, dict[int, np.ndarray]]]
+        ] = {}
         # degenerate halo views (n_halo == 0): A_remote was built with one
         # zero column, so the remote kernel needs a length-1 zero RHS —
         # cached here so halo_view stays allocation-free per sweep
@@ -227,12 +232,78 @@ class DistributedSpMVM:
         self.iterations += 1
         return execute_sweep(self, self.program(scheme), X_local, op_log=op_log)
 
+    def multi_program(
+        self, scheme: str, n_sweeps: int, *, pipeline: bool = True
+    ) -> MultiSweepProgram:
+        """The compiled N-sweep program this engine runs for *scheme*."""
+        return cached_multi_sweep_program(
+            scheme,
+            n_sweeps,
+            pipeline=pipeline,
+            comm_plan="plan" if self.exchange is not None else "classic",
+        )
+
+    def multiply_chain(
+        self,
+        x_local: np.ndarray,
+        n_sweeps: int,
+        scheme: str = "task_mode",
+        *,
+        pipeline: bool = True,
+        op_log: list[str] | None = None,
+    ) -> list[np.ndarray]:
+        """The matrix-powers chain: this rank's slices of ``A x .. A^N x``.
+
+        Runs ONE multi-sweep program (one comm-thread spawn, pipelined
+        receives, double-buffered halo slots) instead of N independent
+        multiplies.  Each slice is bit-identical to iterating
+        :meth:`multiply`, pipelined or not — the pipelining reorders
+        communication, never kernel arithmetic.  Requires a square
+        operator (chaining feeds each sweep's result back as the next
+        input).
+        """
+        check_in(scheme, SCHEMES, "scheme")
+        x_local = np.asarray(x_local, dtype=np.float64)
+        if x_local.shape != (self.halo.n_rows,):
+            raise ValueError(
+                f"x_local must have shape ({self.halo.n_rows},), got {x_local.shape}"
+            )
+        program = self.multi_program(scheme, n_sweeps, pipeline=pipeline)
+        self.iterations += n_sweeps
+        return execute_multi_sweep(self, program, x_local, op_log=op_log)
+
     # -- state the interpreter's op handlers drive ---------------------
     def sweep_buffers(self, x: np.ndarray) -> tuple[np.ndarray, dict[int, np.ndarray]]:
         """(halo landing buffer, per-peer send buffers) for input *x*."""
         if x.ndim == 2:
             return self._block_buffers(x.shape[1])
         return self._halo_buf, self._send_bufs
+
+    def multi_sweep_buffers(
+        self, x: np.ndarray, depth: int
+    ) -> list[tuple[np.ndarray, dict[int, np.ndarray]]]:
+        """The double-buffer ring of a multi-sweep program: *depth* slots.
+
+        Slot ``s % depth`` is sweep ``s``'s (halo landing buffer,
+        per-peer send buffers) — preallocated once per (depth, width)
+        and reused across chains, like the single-sweep buffers.
+        """
+        k = x.shape[1] if x.ndim == 2 else 0
+        ring = self._multi_bufs.get((depth, k))
+        if ring is None:
+            shape = (self.halo.n_halo, k) if k else (self.halo.n_halo,)
+            ring = [
+                (
+                    np.empty(shape),
+                    {
+                        dst: np.empty((idx.size, k) if k else (idx.size,))
+                        for dst, idx in self.halo.send_indices.items()
+                    },
+                )
+                for _slot in range(depth)
+            ]
+            self._multi_bufs[(depth, k)] = ring
+        return ring
 
     def post_halo_receives(self) -> list[tuple[int, object]]:
         """Classic lowering of POST_RECVS: one irecv per source rank."""

@@ -28,7 +28,12 @@ from repro.obs.analysis import (
 )
 from repro.obs.chrome import chrome_trace_events, to_chrome_trace, write_chrome_trace
 from repro.obs.latency import bounded_slowdown, latency_summary, percentile, throughput
-from repro.obs.metrics import comm_phase_messages, simulation_metrics
+from repro.obs.metrics import (
+    comm_phase_messages,
+    per_op_costs,
+    render_op_costs,
+    simulation_metrics,
+)
 from repro.obs.summary import phase_summary
 
 __all__ = [
@@ -42,6 +47,8 @@ __all__ = [
     "write_chrome_trace",
     "simulation_metrics",
     "comm_phase_messages",
+    "per_op_costs",
+    "render_op_costs",
     "phase_summary",
     "latency_summary",
     "percentile",

@@ -19,7 +19,7 @@ from repro.comm.plan import PHASES
 from repro.core.runner import SimulationResult
 from repro.frame.trace import TraceRecorder
 
-__all__ = ["simulation_metrics", "comm_phase_messages"]
+__all__ = ["simulation_metrics", "comm_phase_messages", "per_op_costs", "render_op_costs"]
 
 #: Structured-event names folded into ``mpi.<name>`` counters.
 _MPI_EVENT_NAMES = (
@@ -47,6 +47,42 @@ def comm_phase_messages(trace: TraceRecorder) -> dict[str, int]:
         if ev.name == "msg_posted" and ev.args.get("kind") == "send"
     )
     return {phase: int(counts.get(phase, 0)) for phase in PHASES}
+
+
+def per_op_costs(trace: TraceRecorder) -> dict[tuple[str, int, str], dict[str, float]]:
+    """Aggregate the per-op cost attribution events of one traced run.
+
+    Both interpreters (:func:`repro.program.sim.sweep_process` and
+    :func:`~repro.program.sim.multi_sweep_process`) emit one ``op_cost``
+    event per executed sweep op, keyed on the program signature id and
+    the op's sweep index.  This folds them into
+    ``(program_id, sweep, op_kind) -> {"count": n, "seconds": total}``
+    — the data behind ``repro trace --per-op``: where one chained
+    program actually spends its time, sweep by sweep.
+    """
+    agg: dict[tuple[str, int, str], dict[str, float]] = {}
+    for ev in trace.events_named("op_cost", "program"):
+        key = (str(ev.args["program"]), int(ev.args["sweep"]), str(ev.args["op"]))
+        cell = agg.get(key)
+        if cell is None:
+            cell = agg[key] = {"count": 0.0, "seconds": 0.0}
+        cell["count"] += 1.0
+        cell["seconds"] += float(ev.args.get("seconds", 0.0))
+    return agg
+
+
+def render_op_costs(trace: TraceRecorder) -> str:
+    """ASCII table of :func:`per_op_costs`, grouped by program and sweep."""
+    agg = per_op_costs(trace)
+    if not agg:
+        return "no op_cost events recorded (trace the run with trace=True)"
+    lines = [f"{'program':<32} {'sweep':>5} {'op':<14} {'count':>7} {'seconds':>12}"]
+    for (pid, sweep, op), cell in sorted(agg.items()):
+        lines.append(
+            f"{pid:<32} {sweep:>5} {op:<14} {int(cell['count']):>7} "
+            f"{cell['seconds']:>12.6f}"
+        )
+    return "\n".join(lines)
 
 
 def simulation_metrics(result: SimulationResult) -> dict[str, float]:

@@ -32,10 +32,18 @@ from __future__ import annotations
 
 import functools
 
-from repro.program.ir import SweepOp, SweepProgram
-from repro.util import check_in
+from repro.program.ir import MultiSweepProgram, SweepOp, SweepProgram
+from repro.util import check_in, check_positive_int
 
-__all__ = ["PROGRAM_SCHEMES", "build_sweep", "cached_sweep_program", "all_sweep_programs"]
+__all__ = [
+    "PROGRAM_SCHEMES",
+    "build_sweep",
+    "cached_sweep_program",
+    "all_sweep_programs",
+    "build_multi_sweep",
+    "cached_multi_sweep_program",
+    "all_multi_sweep_programs",
+]
 
 #: The Fig. 4 schemes, in paper order.  (Kept equal to
 #: ``repro.core.spmvm.SCHEMES`` / ``repro.core.schemes.SIM_SCHEMES`` by
@@ -130,5 +138,170 @@ def all_sweep_programs(
         build_sweep(scheme, block_k=k, comm_plan=lowering)
         for scheme in PROGRAM_SCHEMES
         for lowering in ("classic", "plan")
+        for k in block_widths
+    ]
+
+
+# ----------------------------------------------------------------------
+# multi-sweep builders: N chained sweeps, optionally pipelined across
+# the sweep boundaries
+# ----------------------------------------------------------------------
+def _sop(kind: str, sweep: int) -> SweepOp:
+    return SweepOp(kind, sweep=sweep)
+
+
+def _sequential_ops(scheme: str, n_sweeps: int) -> tuple[SweepOp, ...]:
+    """N copies of the single-sweep program, sweep-tagged back to back."""
+    single = build_sweep(scheme).ops
+    ops: list[SweepOp] = []
+    for s in range(n_sweeps):
+        for op in single:
+            if op.kind == "COMM_THREAD":
+                body = tuple(_sop(inner.kind, s) for inner in op.body)
+                ops.append(SweepOp("COMM_THREAD", body=body, sweep=s))
+            else:
+                ops.append(_sop(op.kind, s))
+    return tuple(ops)
+
+
+def _pipelined_vector_ops(scheme: str, n_sweeps: int) -> tuple[SweepOp, ...]:
+    """no_overlap / naive_overlap with sweep s+1's receives hoisted.
+
+    Sweep ``s+1``'s ``POST_RECVS`` is issued right after sweep ``s``'s
+    ``WAITALL`` — before the halo-consuming kernel of sweep ``s`` — so
+    the next exchange's receives are preposted while this sweep still
+    computes.  Needs ``halo_depth >= 2``: the hoisted receives land in
+    the *other* halo slot.
+    """
+    split = scheme == "naive_overlap"
+    kernel = "REMOTE_SPMVM" if split else "FULL_SPMVM"
+    ops: list[SweepOp] = [_sop("POST_RECVS", 0)]
+    for s in range(n_sweeps):
+        ops.append(_sop("PACK", s))
+        ops.append(_sop("POST_SENDS", s))
+        if split:
+            ops.append(_sop("LOCAL_SPMVM", s))
+        ops.append(_sop("WAITALL", s))
+        if s + 1 < n_sweeps:
+            ops.append(_sop("POST_RECVS", s + 1))
+        ops.append(_sop(kernel, s))
+    return tuple(ops)
+
+
+def _pipelined_task_ops(n_sweeps: int) -> tuple[SweepOp, ...]:
+    """task_mode with ONE long-lived comm thread spanning all sweeps.
+
+    The body runs every sweep's sends/waits; ``OMP_BARRIER`` ops inside
+    the body are *rendezvous* points with the matching main-path
+    barriers.  Per sweep boundary there are two rendezvous:
+
+    * **exchange-done** — after ``WAITALL s``, before the main path may
+      run ``REMOTE_SPMVM s``.  The comm thread then posts sweep
+      ``s+1``'s receives, causally *concurrent* with the main path's
+      remote kernel of sweep ``s`` — the cross-iteration pipelining
+      this IR exists for, safe only because the receives land in the
+      other halo slot (``halo_depth = 2``).
+    * **pack-published** — after the main path packed sweep ``s+1``'s
+      send buffers (from sweep ``s``'s result), before the comm thread
+      may send them.
+
+    The final main-path barrier (after the last rendezvous is consumed)
+    joins the thread.
+    """
+    body: list[SweepOp] = []
+    for s in range(n_sweeps):
+        body.append(_sop("POST_SENDS", s))
+        body.append(_sop("WAITALL", s))
+        if s + 1 < n_sweeps:
+            body.append(_sop("OMP_BARRIER", s))       # exchange-done s
+            body.append(_sop("POST_RECVS", s + 1))
+            body.append(_sop("OMP_BARRIER", s + 1))   # pack-published s+1
+    ops: list[SweepOp] = [
+        _sop("POST_RECVS", 0),
+        _sop("PACK", 0),
+        _sop("OMP_BARRIER", 0),
+        SweepOp("COMM_THREAD", body=tuple(body)),
+    ]
+    for s in range(n_sweeps):
+        ops.append(_sop("LOCAL_SPMVM", s))
+        ops.append(_sop("OMP_BARRIER", s))            # exchange-done s (or join)
+        ops.append(_sop("REMOTE_SPMVM", s))
+        if s + 1 < n_sweeps:
+            ops.append(_sop("PACK", s + 1))
+            ops.append(_sop("OMP_BARRIER", s + 1))    # pack-published s+1
+    return tuple(ops)
+
+
+def build_multi_sweep(
+    scheme: str,
+    n_sweeps: int,
+    *,
+    pipeline: bool = True,
+    block_k: int = 1,
+    comm_plan: str = "classic",
+) -> MultiSweepProgram:
+    """Build the N-sweep chained program of one Fig. 4 *scheme*.
+
+    Sweep ``s`` consumes sweep ``s-1``'s result (the matrix-powers
+    chain ``A x, A² x, ...``).  With ``pipeline=True`` (the default)
+    sweep ``s+1``'s ``POST_RECVS`` is hoisted before sweep ``s``'s
+    halo-consuming kernel and the halo/send buffers are double-buffered
+    (``halo_depth = 2``); task mode additionally keeps one long-lived
+    communication thread across all sweeps.  ``pipeline=False`` emits
+    the plain concatenation of single-sweep programs (``halo_depth =
+    1``) — the bit-identity baseline the golden tests compare against.
+    """
+    check_in(scheme, PROGRAM_SCHEMES, "scheme")
+    check_positive_int(n_sweeps, "n_sweeps")
+    if not pipeline or n_sweeps == 1:
+        ops = _sequential_ops(scheme, n_sweeps)
+        halo_depth = 1
+    elif scheme == "task_mode":
+        ops = _pipelined_task_ops(n_sweeps)
+        halo_depth = 2
+    else:
+        ops = _pipelined_vector_ops(scheme, n_sweeps)
+        halo_depth = 2
+    return MultiSweepProgram(
+        scheme=scheme,
+        ops=ops,
+        n_sweeps=n_sweeps,
+        pipeline=pipeline,
+        block_k=block_k,
+        lowering=comm_plan,
+        halo_depth=halo_depth,
+        meta={"builder": "build_multi_sweep"},
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def cached_multi_sweep_program(
+    scheme: str,
+    n_sweeps: int,
+    *,
+    pipeline: bool = True,
+    block_k: int = 1,
+    comm_plan: str = "classic",
+) -> MultiSweepProgram:
+    """The compile-once twin of :func:`build_multi_sweep`."""
+    return build_multi_sweep(
+        scheme, n_sweeps, pipeline=pipeline, block_k=block_k, comm_plan=comm_plan
+    )
+
+
+def all_multi_sweep_programs(
+    *, sweep_counts: tuple[int, ...] = (2, 3), block_widths: tuple[int, ...] = (1, 4)
+) -> list[MultiSweepProgram]:
+    """Every multi-sweep builder output: scheme x lowering x N x mode x k.
+
+    ``repro check --programs`` lints these alongside the single-sweep
+    set — the complete multi-sweep surface either backend can be handed.
+    """
+    return [
+        build_multi_sweep(scheme, n, pipeline=pipeline, block_k=k, comm_plan=lowering)
+        for scheme in PROGRAM_SCHEMES
+        for lowering in ("classic", "plan")
+        for n in sweep_counts
+        for pipeline in (True, False)
         for k in block_widths
     ]

@@ -30,12 +30,16 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.program.ir import SweepOp, SweepProgram
+from repro.program.ir import MultiSweepProgram, SweepOp, SweepProgram
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.spmvm import DistributedSpMVM
 
-__all__ = ["UnjoinedCommThreadError", "execute_sweep"]
+__all__ = ["UnjoinedCommThreadError", "execute_sweep", "execute_multi_sweep"]
+
+#: Rendezvous/join patience for the persistent comm thread (seconds);
+#: generous — a rendezvous only times out when the other side is dead.
+_RENDEZVOUS_TIMEOUT = 60.0
 
 
 class UnjoinedCommThreadError(RuntimeError):
@@ -305,3 +309,267 @@ _OP_HANDLERS = {
     "FULL_SPMVM": _full_spmvm,
     "OMP_BARRIER": _omp_barrier,
 }
+
+
+# ----------------------------------------------------------------------
+# multi-sweep interpreter: chained sweeps, double-buffered halo slots,
+# one persistent comm thread paced by barrier rendezvous
+# ----------------------------------------------------------------------
+class _MultiSweepState:
+    """Whole-program state: per-sweep views plus the persistent thread.
+
+    Each sweep gets its own :class:`_SweepState` view (input, requests,
+    result), with ``halo_out``/``send_bufs`` pointing into slot
+    ``sweep % halo_depth`` of the engine's double-buffer ring.  The op
+    handlers are the single-sweep ones, applied to the right view — the
+    multi-sweep layer only owns sweep chaining, slot mapping, and the
+    rendezvous protocol of the long-lived comm thread.
+    """
+
+    __slots__ = (
+        "views", "depth", "thread", "barrier", "rendezvous_left",
+        "rendezvous_total", "error", "san", "domain", "comm_op", "comm_token",
+    )
+
+    def __init__(self, depth: int = 1) -> None:
+        self.views: list[_SweepState] = []
+        self.depth = depth
+        self.thread: threading.Thread | None = None
+        self.barrier: threading.Barrier | None = None
+        self.rendezvous_left = 0
+        self.rendezvous_total = 0
+        self.error: list[BaseException] = []
+        self.san = None
+        self.domain = ""
+        self.comm_op: SweepOp | None = None
+        self.comm_token: int | None = None
+
+
+def _ms_buffer_names(op: SweepOp, slot: int) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Sanitizer footprint of *op*: slot/sweep-mapped buffer names.
+
+    The single-sweep footprints (:data:`_OP_READS`/:data:`_OP_WRITES`)
+    name one buffer set; here the names carry the double-buffer slot
+    (``halo_out#1``) and the sweep (``recvs@2``, ``y@2``) so the
+    sanitizer sees cross-iteration overlap on the *same physical
+    buffer*.  ``POST_RECVS`` additionally *writes* its halo slot: the
+    MPI library owns the receive buffer from the post on, which is
+    exactly the access that races a remote kernel still reading that
+    slot when the double-buffer contract is violated.
+    """
+    s = op.sweep
+    x = "x@0" if s == 0 else f"y@{s - 1}"
+    halo, sb = f"halo_out#{slot}", f"send_bufs#{slot}"
+    recvs, y = f"recvs@{s}", f"y@{s}"
+    reads = {
+        "PACK": (x,),
+        "POST_SENDS": (x, sb),
+        "WAITALL": (x, recvs),
+        "LOCAL_SPMVM": (x,),
+        "REMOTE_SPMVM": (halo,),
+        "FULL_SPMVM": (x, halo),
+    }.get(op.kind, ())
+    writes = {
+        "POST_RECVS": (recvs, halo),
+        "PACK": (sb,),
+        "WAITALL": (halo,),
+        "LOCAL_SPMVM": (y,),
+        "REMOTE_SPMVM": (y,),
+        "FULL_SPMVM": (y,),
+    }.get(op.kind, ())
+    return reads, writes
+
+
+def execute_multi_sweep(
+    engine: "DistributedSpMVM",
+    program: MultiSweepProgram,
+    x: np.ndarray,
+    *,
+    op_log: list[str] | None = None,
+) -> "list[np.ndarray]":
+    """Run the N-sweep chained *program* on *engine* with input *x*.
+
+    Returns this rank's slices of the matrix-powers chain
+    ``[A x, A² x, ..., A^N x]`` (each sweep consumed the previous
+    sweep's result — valid because the operator is square and row and
+    column partitions coincide).  ``op_log`` receives the program's
+    sweep-tagged signature tokens in issue order, as with
+    :func:`execute_sweep`.
+
+    The arithmetic per sweep is identical to N back-to-back
+    :func:`execute_sweep` calls, whatever the pipelining — hoisted
+    receives and the persistent comm thread reorder *communication*,
+    never the kernels — so pipelined and sequential programs are
+    bit-identical.
+    """
+    if (program.lowering == "plan") != (engine.exchange is not None):
+        have = "a" if engine.exchange is not None else "no"
+        raise ValueError(
+            f"program lowers communication as {program.lowering!r} but the "
+            f"engine has {have} compiled comm plan"
+        )
+    slots = engine.multi_sweep_buffers(x, program.halo_depth)
+    ms = _MultiSweepState(program.halo_depth)
+    for s in range(program.n_sweeps):
+        halo_out, send_bufs = slots[s % program.halo_depth]
+        view = _SweepState(x if s == 0 else None, halo_out, send_bufs)
+        ms.views.append(view)
+    san = getattr(engine, "sanitizer", None)
+    if san is not None:
+        ms.san = san
+        ms.domain = f"rank{engine.comm.rank}"
+    try:
+        for op in program.ops:
+            if op.kind == "COMM_THREAD":
+                _ms_spawn_comm_thread(engine, op, ms, op_log)
+                continue
+            if op_log is not None:
+                op_log.append(f"s{op.sweep}:{op.kind}")
+            if op.kind == "OMP_BARRIER":
+                _ms_barrier_main(ms)
+                continue
+            _ms_issue(engine, op, ms)
+    except BaseException:
+        if ms.thread is not None:  # never leak the worker on the error path
+            if ms.barrier is not None:
+                ms.barrier.abort()
+            ms.thread.join()
+        raise
+    if ms.thread is not None:
+        if ms.barrier is not None:
+            ms.barrier.abort()  # release a worker parked at a rendezvous
+        ms.thread.join()
+        _ms_raise_comm_error(ms)
+        raise UnjoinedCommThreadError(
+            f"rank {engine.comm.rank}: multi-sweep program for scheme "
+            f"{program.scheme!r} finished with its COMM_THREAD region still "
+            f"open — no main-path OMP_BARRIER joined the communication thread"
+        )
+    _ms_raise_comm_error(ms)
+    ys = []
+    for s, view in enumerate(ms.views):
+        if view.y is None:
+            raise RuntimeError(
+                f"multi-sweep program for scheme {program.scheme!r} finished "
+                f"without computing sweep {s}'s result"
+            )
+        ys.append(view.y)
+    return ys
+
+
+def _ms_issue(engine: "DistributedSpMVM", op: SweepOp, ms: _MultiSweepState) -> None:
+    """Issue one sweep-tagged op against its sweep's view."""
+    view = ms.views[op.sweep]
+    if view.x is None and op.sweep > 0:
+        # chained input: sweep s consumes sweep s-1's result; the
+        # previous kernel is ordered before every consumer (lint), so
+        # the binding is always resolved by the time a reader runs
+        view.x = ms.views[op.sweep - 1].y
+    san = ms.san
+    if san is not None:
+        reads, writes = _ms_buffer_names(op, op.sweep % ms.depth)
+        for buf in reads:
+            san.on_access(ms.domain, buf, "r", op=f"s{op.sweep}:{op.kind}")
+        for buf in writes:
+            san.on_access(ms.domain, buf, "w", op=f"s{op.sweep}:{op.kind}")
+    _OP_HANDLERS[op.kind](engine, view)
+
+
+def _ms_spawn_comm_thread(
+    engine: "DistributedSpMVM",
+    op: SweepOp,
+    ms: _MultiSweepState,
+    op_log: list[str] | None,
+) -> None:
+    """Start the long-lived comm thread of a multi-sweep region.
+
+    Body ``OMP_BARRIER`` ops are rendezvous with the matching main-path
+    barriers; the main path counts them at spawn so it knows which of
+    its own barriers rendezvous and which one (the first past the last
+    rendezvous) joins the thread.
+    """
+    if ms.thread is not None:
+        raise RuntimeError("COMM_THREAD spawned while another is still open")
+    if op_log is not None:
+        op_log.append("COMM_THREAD{")
+        op_log.extend(f"s{inner.sweep}:{inner.kind}" for inner in op.body)
+        op_log.append("}")
+    ms.rendezvous_left = sum(1 for inner in op.body if inner.kind == "OMP_BARRIER")
+    ms.rendezvous_total = ms.rendezvous_left
+    ms.barrier = threading.Barrier(2)
+    name = f"comm-thread-{engine.comm.rank}"
+    token = None
+    if ms.san is not None:
+        token = ms.san.on_spawn(ms.domain, name)
+
+    def worker() -> None:
+        try:
+            if token is not None:
+                ms.san.on_thread_start(ms.domain, token)
+            rdv = 0
+            for inner in op.body:
+                if inner.kind == "OMP_BARRIER":
+                    _ms_rendezvous(ms, "comm", rdv)
+                    rdv += 1
+                else:
+                    _ms_issue(engine, inner, ms)
+        except BaseException as exc:  # noqa: BLE001 - re-raised on join
+            ms.error.append(exc)
+            ms.barrier.abort()  # wake a main thread parked at a rendezvous
+
+    ms.comm_op = op
+    ms.comm_token = token
+    ms.thread = threading.Thread(target=worker, name=name)
+    ms.thread.start()
+
+
+def _ms_rendezvous(ms: _MultiSweepState, side: str, idx: int) -> None:
+    """One two-party barrier rendezvous, with sanitizer hand-off edges.
+
+    Each side releases its own token before the physical wait and
+    acquires the other side's after it — a bidirectional happens-before
+    edge.  The tokens carry the rendezvous ordinal *idx*: with one token
+    per side a thread that races ahead to the NEXT rendezvous would
+    overwrite its release clock before the peer's acquire reads it,
+    forging a happens-before edge that hides real races.
+    """
+    other = "comm" if side == "main" else "main"
+    if ms.san is not None:
+        ms.san.on_release(ms.domain, f"rdv:{side}:{idx}")
+    ms.barrier.wait(timeout=_RENDEZVOUS_TIMEOUT)
+    if ms.san is not None:
+        ms.san.on_acquire(ms.domain, f"rdv:{other}:{idx}")
+
+
+def _ms_barrier_main(ms: _MultiSweepState) -> None:
+    """A main-path OMP_BARRIER: rendezvous with, or join, the comm thread."""
+    if ms.thread is None:
+        return  # single compute thread, no comm thread open: a no-op
+    if ms.rendezvous_left > 0:
+        idx = ms.rendezvous_total - ms.rendezvous_left
+        ms.rendezvous_left -= 1
+        try:
+            _ms_rendezvous(ms, "main", idx)
+        except threading.BrokenBarrierError:
+            # the comm thread died (it aborts the barrier on error) or
+            # timed out: surface its failure, never deadlock
+            ms.thread.join()
+            ms.thread = None
+            _ms_raise_comm_error(ms)
+            raise
+        return
+    ms.thread.join()
+    ms.thread = None
+    if ms.san is not None and ms.comm_token is not None:
+        ms.san.on_join(ms.domain, ms.comm_token)
+        ms.comm_token = None
+    _ms_raise_comm_error(ms)
+
+
+def _ms_raise_comm_error(ms: _MultiSweepState) -> None:
+    real = [e for e in ms.error
+            if not isinstance(e, threading.BrokenBarrierError)]
+    if real:
+        raise RuntimeError(
+            f"communication thread failed: {real[0]!r}"
+        ) from real[0]

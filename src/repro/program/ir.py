@@ -59,10 +59,13 @@ __all__ = [
     "OP_KINDS",
     "COMPUTE_OPS",
     "COMM_OPS",
+    "MULTI_BODY_OPS",
+    "WORK_OPS",
     "LOWERINGS",
     "SIM_PHASE_LABELS",
     "SweepOp",
     "SweepProgram",
+    "MultiSweepProgram",
 ]
 
 #: Every op kind the backends understand (stable identifiers; they are
@@ -84,6 +87,16 @@ COMPUTE_OPS = ("PACK", "LOCAL_SPMVM", "REMOTE_SPMVM", "FULL_SPMVM")
 
 #: Ops that execute MPI library code (legal inside a COMM_THREAD body).
 COMM_OPS = ("POST_RECVS", "POST_SENDS", "WAITALL")
+
+#: Body vocabulary of a *multi-sweep* COMM_THREAD region: MPI ops plus
+#: the OMP_BARRIER rendezvous points that pace a long-lived
+#: communication thread against the compute threads across sweeps.
+MULTI_BODY_OPS = COMM_OPS + ("OMP_BARRIER",)
+
+#: Ops that do per-sweep work (everything except synchronisation and the
+#: COMM_THREAD marker) — the multiset the multi-sweep builders must
+#: preserve per sweep relative to the single-sweep program.
+WORK_OPS = COMM_OPS + COMPUTE_OPS
 
 #: How PACK/POST_SENDS/WAITALL reach the wire: ``classic`` is one
 #: message per peer straight off the halo lists; ``plan`` replays a
@@ -107,13 +120,20 @@ class SweepOp:
 
     ``body`` is only meaningful (and required) for ``COMM_THREAD``; it
     holds the ops the dedicated communication thread executes.
+
+    ``sweep`` tags the op with the sweep (iteration) it belongs to in a
+    :class:`MultiSweepProgram`.  Single-sweep programs leave it at 0, so
+    their reprs and signatures are unchanged.
     """
 
     kind: str
     body: tuple["SweepOp", ...] = ()
+    sweep: int = 0
 
     def __post_init__(self) -> None:
         check_in(self.kind, OP_KINDS, "op kind")
+        if self.sweep < 0:
+            raise ValueError(f"sweep index must be >= 0, got {self.sweep}")
         if self.kind == "COMM_THREAD":
             if not self.body:
                 raise ValueError("COMM_THREAD requires a non-empty body")
@@ -124,9 +144,10 @@ class SweepOp:
             raise ValueError(f"op {self.kind} cannot carry a body")
 
     def __repr__(self) -> str:
+        tag = f"@{self.sweep}" if self.sweep else ""
         if self.kind == "COMM_THREAD":
-            return f"COMM_THREAD({', '.join(op.kind for op in self.body)})"
-        return self.kind
+            return f"COMM_THREAD({', '.join(repr(op) for op in self.body)}){tag}"
+        return f"{self.kind}{tag}"
 
 
 @dataclass(frozen=True)
@@ -188,4 +209,108 @@ class SweepProgram:
         return (
             f"{self.scheme} [{self.lowering}, k={self.block_k}]: "
             + " -> ".join(repr(op) for op in self.ops)
+        )
+
+    def program_id(self) -> str:
+        """Short stable identifier for cost attribution (repro.obs)."""
+        return f"{self.scheme}/{self.lowering}/k{self.block_k}"
+
+
+@dataclass(frozen=True)
+class MultiSweepProgram:
+    """An op stream spanning ``n_sweeps`` chained sweeps, as data.
+
+    The multi-sweep twin of :class:`SweepProgram`: every op carries a
+    ``sweep`` tag, and the stream may *pipeline* across sweep boundaries
+    — sweep ``i+1``'s ``POST_RECVS`` hoisted before sweep ``i``'s
+    ``REMOTE_SPMVM``, halo and send buffers double-buffered over
+    ``halo_depth`` slots, and (task mode) one long-lived ``COMM_THREAD``
+    region whose body spans all sweeps, paced against the compute
+    threads by ``OMP_BARRIER`` rendezvous points inside the body.
+
+    Execution semantics are *chained*: sweep ``s`` consumes the result
+    of sweep ``s-1`` as its input (the matrix-powers kernel
+    ``[A x, A² x, ..., A^N x]``), which is what the communication-
+    avoiding solvers fuse their spMVMs into.
+
+    ``halo_depth`` is the double-buffer contract: sweep ``s`` lands its
+    halo (and packs its sends) in slot ``s % halo_depth``, so
+    ``POST_RECVS s`` may only be hoisted above work that still reads
+    slot ``s % halo_depth`` when ``halo_depth`` sweeps separate them.
+    The lint (:func:`repro.program.lint.lint_multi_sweep_program`)
+    proves that, and the thread sanitizer checks it access by access.
+    """
+
+    scheme: str
+    ops: tuple[SweepOp, ...]
+    n_sweeps: int
+    pipeline: bool = True
+    block_k: int = 1
+    lowering: str = "classic"
+    halo_depth: int = 2
+    #: free-form provenance (builder name, plan kind, ...)
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        check_in(self.lowering, LOWERINGS, "lowering")
+        if self.n_sweeps < 1:
+            raise ValueError(f"n_sweeps must be >= 1, got {self.n_sweeps}")
+        if self.halo_depth < 1:
+            raise ValueError(f"halo_depth must be >= 1, got {self.halo_depth}")
+        if self.block_k < 1:
+            raise ValueError(f"block_k must be >= 1, got {self.block_k}")
+        if not self.ops:
+            raise ValueError("a multi-sweep program needs at least one op")
+
+    def walk(self) -> Iterator[tuple[SweepOp, bool]]:
+        """Every op with its context: ``(op, inside_comm_thread)``."""
+        for op in self.ops:
+            yield op, False
+            for inner in op.body:
+                yield inner, True
+
+    def signature(self) -> tuple[str, ...]:
+        """The canonical sweep-tagged op sequence.
+
+        Tokens are ``s{sweep}:{kind}``; comm-thread regions are
+        delimited with ``COMM_THREAD{`` / ``}`` and their body ops
+        appear at the spawn point, exactly as both backends log them.
+        """
+        out: list[str] = []
+        for op in self.ops:
+            if op.kind == "COMM_THREAD":
+                out.append("COMM_THREAD{")
+                out.extend(f"s{inner.sweep}:{inner.kind}" for inner in op.body)
+                out.append("}")
+            else:
+                out.append(f"s{op.sweep}:{op.kind}")
+        return tuple(out)
+
+    def sweep_work_ops(self, sweep: int) -> tuple[str, ...]:
+        """Sorted multiset of *sweep*'s work ops (:data:`WORK_OPS` only).
+
+        Synchronisation (``OMP_BARRIER``) and the ``COMM_THREAD`` marker
+        are excluded: pipelining legitimately changes how many barriers
+        pace the stream, but never how much per-sweep work it does.
+        """
+        return tuple(sorted(
+            op.kind for op, _inside in self.walk()
+            if op.sweep == sweep and op.kind in WORK_OPS
+        ))
+
+    def describe(self) -> str:
+        """One line: scheme, lowering, sweep count and the op sequence."""
+        mode = "pipelined" if self.pipeline else "sequential"
+        return (
+            f"{self.scheme} x{self.n_sweeps} [{mode}, {self.lowering}, "
+            f"k={self.block_k}, depth={self.halo_depth}]: "
+            + " -> ".join(repr(op) for op in self.ops)
+        )
+
+    def program_id(self) -> str:
+        """Short stable identifier for cost attribution (repro.obs)."""
+        mode = "pipe" if self.pipeline else "seq"
+        return (
+            f"{self.scheme}/{self.lowering}/k{self.block_k}"
+            f"/n{self.n_sweeps}/{mode}"
         )

@@ -10,6 +10,20 @@ through the simulated MPI with its progress semantics, and a
 progress gate open inside ``Waitall`` — joined, as on the real machine,
 at the next ``OMP_BARRIER``.
 
+:func:`multi_sweep_process` is the multi-sweep twin: one
+:class:`~repro.program.ir.MultiSweepProgram` whose op stream spans N
+chained sweeps, with per-sweep request sets, and (task mode) one
+long-lived comm-thread subprocess paced against the main path by
+two-party rendezvous at the body's ``OMP_BARRIER`` ops.  Phase labels
+stay exactly :data:`~repro.program.ir.SIM_PHASE_LABELS`; the per-sweep
+distinction is carried by ``op_cost`` attribution events instead.
+
+When the rank context carries a trace, every executed op additionally
+emits one ``op_cost`` event (category ``program``) keyed on the
+program's :meth:`~repro.program.ir.SweepProgram.program_id` and the
+op's sweep index — the per-op cost breakdown ``repro trace --per-op``
+aggregates.
+
 The lowering of the communication ops mirrors the real backend: with a
 :class:`~repro.comm.sim.SimExchange` attached to the rank context the
 plan's per-channel messages (and relay duties) are replayed; without one
@@ -22,12 +36,17 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator
 
 from repro.frame.events import SimEvent
-from repro.program.ir import SIM_PHASE_LABELS, SweepOp, SweepProgram
+from repro.program.ir import (
+    SIM_PHASE_LABELS,
+    MultiSweepProgram,
+    SweepOp,
+    SweepProgram,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.schemes import RankContext
 
-__all__ = ["sweep_process"]
+__all__ = ["sweep_process", "multi_sweep_process"]
 
 
 class _SimSweep:
@@ -39,6 +58,18 @@ class _SimSweep:
         self.recvs: list = []
         self.sends: list = []
         self.comm_finished: SimEvent | None = None
+
+
+def _emit_op_cost(
+    ctx: "RankContext", pid: str, op: SweepOp, t0: float
+) -> None:
+    """One ``op_cost`` attribution event (no-op without a trace)."""
+    if ctx.trace is not None:
+        ctx.trace.emit(
+            ctx.sim.now, f"rank{ctx.rank}", "op_cost", "program",
+            op=op.kind, sweep=op.sweep, program=pid,
+            seconds=ctx.sim.now - t0,
+        )
 
 
 def sweep_process(
@@ -56,7 +87,9 @@ def sweep_process(
     cross-backend comparison.
     """
     state = _SimSweep()
-    yield from _run_ops(ctx, program.ops, state, sweep, op_log, in_comm_thread=False)
+    pid = program.program_id()
+    yield from _run_ops(ctx, program.ops, state, sweep, op_log, pid,
+                        in_comm_thread=False)
     if state.comm_finished is not None:  # defensive: lint rejects such programs
         yield state.comm_finished
 
@@ -67,6 +100,7 @@ def _run_ops(
     state: _SimSweep,
     sweep: int,
     op_log: list[str] | None,
+    pid: str,
     *,
     in_comm_thread: bool,
 ) -> Generator:
@@ -76,11 +110,12 @@ def _run_ops(
                 op_log.append("COMM_THREAD{")
                 op_log.extend(inner.kind for inner in op.body)
                 op_log.append("}")
-            _spawn_comm_thread(ctx, op, state, sweep)
+            _spawn_comm_thread(ctx, op, state, sweep, pid)
             continue
         if op_log is not None:
             op_log.append(op.kind)
-        yield from _run_op(ctx, op, state, sweep, in_comm_thread=in_comm_thread)
+        yield from _run_op(ctx, op, state, sweep, pid,
+                           in_comm_thread=in_comm_thread)
 
 
 def _run_op(
@@ -88,10 +123,12 @@ def _run_op(
     op: SweepOp,
     state: _SimSweep,
     sweep: int,
+    pid: str,
     *,
     in_comm_thread: bool,
 ) -> Generator:
     kind = op.kind
+    t0 = ctx.sim.now
     if kind in SIM_PHASE_LABELS:
         yield from ctx.compute(SIM_PHASE_LABELS[kind], _compute_cost(ctx, kind))
     elif kind == "POST_RECVS":
@@ -99,7 +136,6 @@ def _run_op(
     elif kind == "POST_SENDS":
         state.sends = _post_sends(ctx, sweep)
     elif kind == "WAITALL":
-        t0 = ctx.sim.now
         yield from ctx.mpi.waitall(ctx.rank, state.recvs + state.sends)
         ctx.record(":comm" if in_comm_thread else "", "MPI_Waitall", t0)
     elif kind == "OMP_BARRIER":
@@ -111,6 +147,7 @@ def _run_op(
         yield from ctx.omp_barrier()
     else:  # pragma: no cover - ir.py validates kinds
         raise ValueError(f"simulation backend cannot execute op {kind!r}")
+    _emit_op_cost(ctx, pid, op, t0)
 
 
 def _compute_cost(ctx: "RankContext", kind: str) -> float:
@@ -124,7 +161,7 @@ def _compute_cost(ctx: "RankContext", kind: str) -> float:
 
 
 def _spawn_comm_thread(
-    ctx: "RankContext", op: SweepOp, state: _SimSweep, sweep: int
+    ctx: "RankContext", op: SweepOp, state: _SimSweep, sweep: int, pid: str
 ) -> None:
     if state.comm_finished is not None:
         raise RuntimeError("COMM_THREAD spawned while another is still open")
@@ -134,7 +171,8 @@ def _spawn_comm_thread(
         # Fig. 4c: the dedicated thread executes MPI calls only, sitting
         # in Waitall with the progress gate held open while the compute
         # threads run the local spMVM
-        yield from _run_ops(ctx, op.body, state, sweep, None, in_comm_thread=True)
+        yield from _run_ops(ctx, op.body, state, sweep, None, pid,
+                            in_comm_thread=True)
         finished.succeed()
 
     ctx.sim.spawn(comm_thread(), name=f"rank{ctx.rank}-comm")
@@ -159,3 +197,147 @@ def _post_sends(ctx: "RankContext", sweep: int) -> list:
         ctx.mpi.isend(ctx.rank, dst, 8 * ctx.block_k * count, sweep)
         for dst, count in ctx.halo.send_to
     ]
+
+
+# ----------------------------------------------------------------------
+# multi-sweep replay: per-sweep request sets and one long-lived comm
+# thread paced by two-party rendezvous
+# ----------------------------------------------------------------------
+class _SimRendezvous:
+    """Two-party rendezvous between the main path and the comm thread.
+
+    The first arriver parks on a fresh event; the second succeeds it and
+    passes straight through.  Resets itself, so one instance serves
+    every rendezvous of a region, in order.
+    """
+
+    __slots__ = ("sim", "_waiting")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self._waiting: SimEvent | None = None
+
+    def wait(self) -> Generator:
+        if self._waiting is None:
+            ev = self.sim.event()
+            self._waiting = ev
+            yield ev
+        else:
+            ev, self._waiting = self._waiting, None
+            ev.succeed()
+
+
+class _SimMultiSweep:
+    """Multi-sweep interpreter state: per-sweep requests + region pacing."""
+
+    __slots__ = ("recvs", "sends", "comm_finished", "rdv", "rendezvous_left")
+
+    def __init__(self) -> None:
+        self.recvs: dict[int, list] = {}
+        self.sends: dict[int, list] = {}
+        self.comm_finished: SimEvent | None = None
+        self.rdv: _SimRendezvous | None = None
+        self.rendezvous_left = 0
+
+
+def multi_sweep_process(
+    ctx: "RankContext",
+    program: MultiSweepProgram,
+    base: int,
+    *,
+    op_log: list[str] | None = None,
+) -> Generator:
+    """Sub-generator: the N chained sweeps of *program* on rank *ctx*.
+
+    *base* is the global sweep number of the program's sweep 0 (pass
+    ``iteration * n_sweeps`` when looping programs back to back); sweep
+    ``s``'s messages are tagged ``base + s`` so drifting ranks cannot
+    mismatch sweeps.  ``op_log`` receives the sweep-tagged signature
+    tokens in issue order, matching
+    :func:`repro.program.exec.execute_multi_sweep`.
+    """
+    state = _SimMultiSweep()
+    pid = program.program_id()
+    for op in program.ops:
+        if op.kind == "COMM_THREAD":
+            if op_log is not None:
+                op_log.append("COMM_THREAD{")
+                op_log.extend(f"s{inner.sweep}:{inner.kind}" for inner in op.body)
+                op_log.append("}")
+            _spawn_multi_comm_thread(ctx, op, state, base, pid)
+            continue
+        if op_log is not None:
+            op_log.append(f"s{op.sweep}:{op.kind}")
+        if op.kind == "OMP_BARRIER":
+            t0 = ctx.sim.now
+            if state.comm_finished is not None and state.rendezvous_left > 0:
+                state.rendezvous_left -= 1
+                yield from state.rdv.wait()
+            elif state.comm_finished is not None:
+                # past the last rendezvous: this barrier joins the thread
+                yield state.comm_finished
+                state.comm_finished = None
+            yield from ctx.omp_barrier()
+            _emit_op_cost(ctx, pid, op, t0)
+            continue
+        yield from _run_multi_op(ctx, op, state, base, pid, in_comm_thread=False)
+    if state.comm_finished is not None:  # defensive: lint rejects such programs
+        yield state.comm_finished
+
+
+def _run_multi_op(
+    ctx: "RankContext",
+    op: SweepOp,
+    state: _SimMultiSweep,
+    base: int,
+    pid: str,
+    *,
+    in_comm_thread: bool,
+) -> Generator:
+    kind = op.kind
+    sweep = base + op.sweep
+    t0 = ctx.sim.now
+    if kind in SIM_PHASE_LABELS:
+        yield from ctx.compute(SIM_PHASE_LABELS[kind], _compute_cost(ctx, kind))
+    elif kind == "POST_RECVS":
+        state.recvs[op.sweep] = _post_receives(ctx, sweep)
+    elif kind == "POST_SENDS":
+        state.sends[op.sweep] = _post_sends(ctx, sweep)
+    elif kind == "WAITALL":
+        reqs = state.recvs.pop(op.sweep, []) + state.sends.pop(op.sweep, [])
+        yield from ctx.mpi.waitall(ctx.rank, reqs)
+        ctx.record(":comm" if in_comm_thread else "", "MPI_Waitall", t0)
+    else:  # pragma: no cover - ir.py validates kinds
+        raise ValueError(f"multi-sweep backend cannot execute op {kind!r}")
+    _emit_op_cost(ctx, pid, op, t0)
+
+
+def _spawn_multi_comm_thread(
+    ctx: "RankContext",
+    op: SweepOp,
+    state: _SimMultiSweep,
+    base: int,
+    pid: str,
+) -> None:
+    if state.comm_finished is not None:
+        raise RuntimeError("COMM_THREAD spawned while another is still open")
+    finished: SimEvent = ctx.sim.event()
+    state.rdv = _SimRendezvous(ctx.sim)
+    state.rendezvous_left = sum(
+        1 for inner in op.body if inner.kind == "OMP_BARRIER"
+    )
+
+    def comm_thread() -> Generator:
+        # one long-lived communication thread spanning every sweep of
+        # the region, pacing itself against the compute threads at its
+        # OMP_BARRIER rendezvous points
+        for inner in op.body:
+            if inner.kind == "OMP_BARRIER":
+                yield from state.rdv.wait()
+            else:
+                yield from _run_multi_op(ctx, inner, state, base, pid,
+                                         in_comm_thread=True)
+        finished.succeed()
+
+    ctx.sim.spawn(comm_thread(), name=f"rank{ctx.rank}-comm")
+    state.comm_finished = finished

@@ -15,7 +15,7 @@ from repro.solvers.amg import (
     direct_interpolation,
     strength_graph,
 )
-from repro.solvers.cg import CGResult, conjugate_gradient
+from repro.solvers.cg import CGResult, conjugate_gradient, sstep_cg
 from repro.solvers.jacobi_davidson import JDResult, jacobi_davidson
 from repro.solvers.chebyshev import ChebyshevPropagator
 from repro.solvers.kpm import KPMSpectrum, chebyshev_moments, jackson_kernel, kpm_spectrum
@@ -32,6 +32,7 @@ __all__ = [
     "spectral_bounds",
     "CGResult",
     "conjugate_gradient",
+    "sstep_cg",
     "JDResult",
     "jacobi_davidson",
     "ChebyshevPropagator",

@@ -23,6 +23,7 @@ EXPECTED_NAMES = {
     "program-overhead",
     "serve-cold", "serve-warm", "serve-coalesced",
     "sanitizer-overhead",
+    "solver-cg-classic", "solver-cg-sstep",
 }
 
 
@@ -79,7 +80,7 @@ def tiny_suite():
 def test_suite_covers_all_paths(tiny_suite):
     assert {r.name for r in tiny_suite} == EXPECTED_NAMES
     assert {r.group for r in tiny_suite} == {
-        "kernel", "distributed", "program", "serve", "check",
+        "kernel", "distributed", "program", "serve", "check", "solver",
     }
     for r in tiny_suite:
         assert r.seconds.min > 0
@@ -283,3 +284,49 @@ def test_cli_bench_quick(tmp_path, capsys):
     printed = capsys.readouterr().out
     assert "distributed-spmm-k16" in printed
     assert str(out) in printed
+
+
+def _solver_result(nrows, derived):
+    base = {
+        "solutions_match": 1.0,
+        "reductions_per_iteration": 0.5,
+        "classic_reductions_per_iteration": 3.0,
+        "messages_per_iteration": 4.0,
+        "classic_messages_per_iteration": 14.0,
+        "comm_posts_per_iteration": 1.5,
+        "classic_comm_posts_per_iteration": 4.0,
+        "time_ratio_vs_classic": 1.0,
+        "guard_ratio_max": 1.25,
+    }
+    return BenchResult(
+        name="solver-cg-sstep", group="solver", warmup=1, repeat=3,
+        seconds=TimingStats(samples=(1.0,)),
+        params={"nrows": nrows, "nnz": 5 * nrows, "nranks": 2, "grid": 32},
+        derived={**base, **derived},
+    )
+
+
+def test_solver_guard_counts_not_times(tiny_suite):
+    from repro.bench.suite import SOLVER_GUARD_MIN_ROWS, solver_guard
+
+    # the real tiny suite passes the guard and reports the economics
+    assert solver_guard(tiny_suite) == ["solver-cg-sstep"]
+    (r,) = [r for r in tiny_suite if r.name == "solver-cg-sstep"]
+    assert r.derived["solutions_match"] == 1.0
+    assert (r.derived["reductions_per_iteration"]
+            < r.derived["classic_reductions_per_iteration"])
+
+    # counted violations are enforced at EVERY size
+    with pytest.raises(AssertionError, match="stopped fusing"):
+        solver_guard([_solver_result(100, {"reductions_per_iteration": 3.0})])
+    with pytest.raises(AssertionError, match="extra exchanges"):
+        solver_guard([_solver_result(100, {"messages_per_iteration": 20.0})])
+    with pytest.raises(AssertionError, match="stopped avoiding"):
+        solver_guard([_solver_result(100, {"comm_posts_per_iteration": 4.0})])
+    with pytest.raises(AssertionError, match="without being verified"):
+        solver_guard([_solver_result(100, {"solutions_match": 0.0})])
+    # the timing ratio only at guard size and above
+    slow = {"time_ratio_vs_classic": 2.0}
+    assert solver_guard([_solver_result(SOLVER_GUARD_MIN_ROWS - 1, slow)])
+    with pytest.raises(AssertionError, match="never lose outright"):
+        solver_guard([_solver_result(SOLVER_GUARD_MIN_ROWS, slow)])

@@ -8,6 +8,13 @@ Fig. 4 scheme × {spmv, spmm} × {classic, plan} lowering,
 * the mpilite results are bit-identical across all combinations and to
   a hand-rolled split-kernel reference (the pre-refactor arithmetic:
   local part first, then the remote part accumulated row by row).
+
+The multi-sweep half (DESIGN.md §15) extends the same contract to
+N-sweep chained programs: frozen sweep-tagged signatures for every
+scheme, op-sequence equality between :meth:`multiply_chain` and the
+simulator's :func:`multi_sweep_process`, and bit-identity of the
+pipelined chain against both the sequential chain and the iterated
+split-kernel reference.
 """
 
 import numpy as np
@@ -17,7 +24,7 @@ from repro.core import cached_halo_plan, distributed_spmm, distributed_spmv, sim
 from repro.core.spmvm import SCHEMES, DistributedSpMVM, lower_comm_plan, scatter_vector
 from repro.machine import westmere_cluster
 from repro.mpilite import PerRank, run_spmd
-from repro.program import build_sweep
+from repro.program import build_multi_sweep, build_sweep
 from repro.sparse import partition_matrix
 from repro.sparse.spmm import spmm, spmm_add
 from repro.sparse.spmv import spmv, spmv_add
@@ -38,6 +45,38 @@ GOLDEN_SIGNATURES = {
         "POST_RECVS", "PACK", "OMP_BARRIER",
         "COMM_THREAD{", "POST_SENDS", "WAITALL", "}",
         "LOCAL_SPMVM", "OMP_BARRIER", "REMOTE_SPMVM",
+    ),
+}
+
+
+N_SWEEPS = 3
+
+#: The frozen N=3 pipelined multi-sweep op sequences.  The pipelining
+#: contract is visible in the data: sweep ``s+1``'s POST_RECVS precedes
+#: sweep ``s``'s remote/full kernel in every scheme.
+GOLDEN_MULTI_SIGNATURES = {
+    "no_overlap": (
+        "s0:POST_RECVS", "s0:PACK", "s0:POST_SENDS", "s0:WAITALL",
+        "s1:POST_RECVS", "s0:FULL_SPMVM", "s1:PACK", "s1:POST_SENDS",
+        "s1:WAITALL", "s2:POST_RECVS", "s1:FULL_SPMVM", "s2:PACK",
+        "s2:POST_SENDS", "s2:WAITALL", "s2:FULL_SPMVM",
+    ),
+    "naive_overlap": (
+        "s0:POST_RECVS", "s0:PACK", "s0:POST_SENDS", "s0:LOCAL_SPMVM",
+        "s0:WAITALL", "s1:POST_RECVS", "s0:REMOTE_SPMVM", "s1:PACK",
+        "s1:POST_SENDS", "s1:LOCAL_SPMVM", "s1:WAITALL", "s2:POST_RECVS",
+        "s1:REMOTE_SPMVM", "s2:PACK", "s2:POST_SENDS", "s2:LOCAL_SPMVM",
+        "s2:WAITALL", "s2:REMOTE_SPMVM",
+    ),
+    "task_mode": (
+        "s0:POST_RECVS", "s0:PACK", "s0:OMP_BARRIER", "COMM_THREAD{",
+        "s0:POST_SENDS", "s0:WAITALL", "s0:OMP_BARRIER", "s1:POST_RECVS",
+        "s1:OMP_BARRIER", "s1:POST_SENDS", "s1:WAITALL", "s1:OMP_BARRIER",
+        "s2:POST_RECVS", "s2:OMP_BARRIER", "s2:POST_SENDS", "s2:WAITALL",
+        "}", "s0:LOCAL_SPMVM", "s0:OMP_BARRIER", "s0:REMOTE_SPMVM",
+        "s1:PACK", "s1:OMP_BARRIER", "s1:LOCAL_SPMVM", "s1:OMP_BARRIER",
+        "s1:REMOTE_SPMVM", "s2:PACK", "s2:OMP_BARRIER", "s2:LOCAL_SPMVM",
+        "s2:OMP_BARRIER", "s2:REMOTE_SPMVM",
     ),
 }
 
@@ -128,6 +167,88 @@ def test_cross_backend_golden(golden_matrix, golden_x, golden_X, scheme, lowerin
 
     # --- numerics: bit-identical to the split-kernel reference --------
     assert np.array_equal(y_exec, split_kernel_reference(A, x, NRANKS))
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_multi_sweep_frozen_signature(scheme):
+    sig = build_multi_sweep(scheme, N_SWEEPS).signature()
+    assert sig == GOLDEN_MULTI_SIGNATURES[scheme]
+    # The pipelining contract, asserted on the data itself: sweep s+1's
+    # receives are posted before sweep s's concluding kernel.
+    tail = "FULL_SPMVM" if scheme == "no_overlap" else "REMOTE_SPMVM"
+    for s in range(N_SWEEPS - 1):
+        assert sig.index(f"s{s + 1}:POST_RECVS") < sig.index(f"s{s}:{tail}")
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("lowering", ["classic", "plan"])
+def test_multi_sweep_cross_backend_golden(golden_matrix, golden_x, scheme, lowering):
+    A = golden_matrix
+    x = golden_x
+    signature = GOLDEN_MULTI_SIGNATURES[scheme]
+
+    # --- real execution (mpilite): op log + per-rank chain slices -----
+    plan = cached_halo_plan(A, NRANKS, with_matrices=True)
+    cplan = (
+        lower_comm_plan(plan, NRANKS, "node-aware", ranks_per_node=2)
+        if lowering == "plan" else None
+    )
+
+    def rank_fn(comm, halo):
+        engine = DistributedSpMVM(comm, halo, comm_plan=cplan)
+        x_local = scatter_vector(x, plan.partition, comm.rank)
+        log: list[str] = []
+        ys = engine.multiply_chain(x_local, N_SWEEPS, scheme, op_log=log)
+        return ys, tuple(log)
+
+    out = run_spmd(NRANKS, rank_fn, PerRank(plan.ranks))
+    for _ys, log in out:
+        assert log == signature
+
+    # --- simulation: same program, same op sequence -------------------
+    cluster = westmere_cluster(2)
+    sim_plan = cached_halo_plan(A, NRANKS, with_matrices=False)
+    op_logs: dict[int, list[str]] = {}
+    iterations = 2
+    result = simulate_from_plan(
+        sim_plan, cluster, mode="per-ld", scheme=scheme,
+        eager_threshold=1024, iterations=iterations,
+        n_sweeps=N_SWEEPS, pipeline=True,
+        comm_plan="node-aware" if lowering == "plan" else "direct",
+        op_logs=op_logs,
+    )
+    assert result.iterations == iterations * N_SWEEPS
+    assert sorted(op_logs) == list(range(NRANKS))
+    for rank_log in op_logs.values():
+        assert tuple(rank_log) == signature * iterations
+
+    # --- numerics: every chain slice matches the iterated reference ---
+    ref = x
+    for s in range(N_SWEEPS):
+        ref = split_kernel_reference(A, ref, NRANKS)
+        assert np.array_equal(
+            np.concatenate([ys[s] for ys, _log in out]), ref
+        )
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_multi_sweep_pipelined_vs_sequential_bit_identical(golden_matrix, golden_x, scheme):
+    """Pipelining reorders communication, never kernel arithmetic."""
+    A = golden_matrix
+    x = golden_x
+    plan = cached_halo_plan(A, NRANKS, with_matrices=True)
+
+    def rank_fn(comm, halo):
+        engine = DistributedSpMVM(comm, halo)
+        x_local = scatter_vector(x, plan.partition, comm.rank)
+        pipe = engine.multiply_chain(x_local, N_SWEEPS, scheme, pipeline=True)
+        seq = engine.multiply_chain(x_local, N_SWEEPS, scheme, pipeline=False)
+        return pipe, seq
+
+    for pipe, seq in run_spmd(NRANKS, rank_fn, PerRank(plan.ranks)):
+        assert len(pipe) == len(seq) == N_SWEEPS
+        for y_pipe, y_seq in zip(pipe, seq):
+            assert np.array_equal(y_pipe, y_seq)
 
 
 def test_all_combinations_bit_identical(golden_matrix, golden_x, golden_X):
